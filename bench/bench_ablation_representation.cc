@@ -1,0 +1,104 @@
+// Ablation A1 (Sec. 4.4, first aspect): "the focus is ... on reconciling
+// the various requirements posed by different algorithms within a single
+// data structure for each genomic data type. Otherwise, the consequence
+// would be enormous conversion costs between different data structures in
+// main memory for the same data type."
+//
+// We run a pipeline of k heterogeneous operations (GC content, reverse
+// complement, motif count, subsequence) over one sequence in two
+// regimes: (a) every operation works on the shared 4-bit packed
+// representation; (b) every operation converts to its "preferred" private
+// representation first (character string), computes, and converts back —
+// the per-operation-conversion world the paper warns about.
+//
+// Expected shape: the shared representation wins and the gap grows
+// linearly with pipeline length.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "base/rng.h"
+#include "gdt/ops.h"
+#include "seq/nucleotide_sequence.h"
+
+namespace genalg::bench {
+namespace {
+
+using seq::NucleotideSequence;
+
+constexpr size_t kSeqLen = 20000;
+
+NucleotideSequence MakeSequence() {
+  Rng rng(4242);
+  return NucleotideSequence::Dna(rng.RandomDna(kSeqLen)).value();
+}
+
+// The pipeline over the shared packed representation.
+double SharedPipeline(const NucleotideSequence& s,
+                      const NucleotideSequence& motif, int rounds) {
+  double acc = 0;
+  NucleotideSequence current = s;
+  for (int i = 0; i < rounds; ++i) {
+    acc += current.GcContent();
+    current = current.ReverseComplement();
+    acc += static_cast<double>(gdt::FindMotif(current, motif).size());
+    current = current.Subsequence(0, current.size() - 1).value();
+  }
+  return acc;
+}
+
+// The same pipeline where each step insists on a string representation
+// and converts at every boundary.
+double ConvertingPipeline(const NucleotideSequence& s,
+                          const NucleotideSequence& motif, int rounds) {
+  double acc = 0;
+  std::string current = s.ToString();
+  std::string motif_text = motif.ToString();
+  for (int i = 0; i < rounds; ++i) {
+    {
+      auto packed = NucleotideSequence::Dna(current).value();
+      acc += packed.GcContent();
+    }
+    {
+      auto packed = NucleotideSequence::Dna(current).value();
+      current = packed.ReverseComplement().ToString();
+    }
+    {
+      auto packed = NucleotideSequence::Dna(current).value();
+      auto motif_packed = NucleotideSequence::Dna(motif_text).value();
+      acc += static_cast<double>(
+          gdt::FindMotif(packed, motif_packed).size());
+    }
+    current.resize(current.size() - 1);
+  }
+  return acc;
+}
+
+void BM_SharedRepresentationPipeline(benchmark::State& state) {
+  auto sequence = MakeSequence();
+  auto motif = NucleotideSequence::Dna("GAATTC").value();
+  int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SharedPipeline(sequence, motif, rounds));
+  }
+  state.counters["pipeline_ops"] = rounds * 4.0;
+}
+
+void BM_ConvertPerOperationPipeline(benchmark::State& state) {
+  auto sequence = MakeSequence();
+  auto motif = NucleotideSequence::Dna("GAATTC").value();
+  int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConvertingPipeline(sequence, motif, rounds));
+  }
+  state.counters["pipeline_ops"] = rounds * 4.0;
+}
+
+BENCHMARK(BM_SharedRepresentationPipeline)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_ConvertPerOperationPipeline)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace genalg::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Ablation A4 (Sec. 5.2, "Unifying database maintenance"): "one can
+// always update the warehouse by reloading the entire contents ...
+// However, this is very expensive, so the problem is to find a new load
+// procedure that takes as input the updates that have occurred at the
+// sources".
+//
+// We compare incremental delta application against full reload across a
+// sweep of delta fractions (what share of source records changed between
+// maintenance rounds) and warehouse sizes.
+//
+// Expected shape: incremental maintenance wins decisively for small delta
+// fractions and approaches (then crosses) the full-reload cost as the
+// fraction nears 1 — the regime where "re-executing the integration
+// query" stops being wasteful.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace genalg::bench {
+namespace {
+
+void BM_IncrementalMaintenance(benchmark::State& state) {
+  size_t records = static_cast<size_t>(state.range(0));
+  double delta_fraction = static_cast<double>(state.range(1)) / 100.0;
+  auto stack = Stack::Make();
+  etl::SyntheticSource source("VM", etl::SourceRepresentation::kFlatFile,
+                              etl::SourceCapability::kLogged, 8080);
+  if (!source.Populate(records, 400).ok()) {
+    state.SkipWithError("populate failed");
+    return;
+  }
+  etl::EtlPipeline pipeline(stack->warehouse.get());
+  if (!pipeline.AddSource(&source).ok() || !pipeline.InitialLoad().ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  size_t deltas = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)source.EvolveStep(delta_fraction);
+    state.ResumeTiming();
+    auto stats = pipeline.RunOnce();
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    deltas += stats->deltas_applied;
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["delta_pct"] = static_cast<double>(state.range(1));
+  state.counters["deltas_per_round"] =
+      static_cast<double>(deltas) / static_cast<double>(state.iterations());
+}
+
+void BM_FullReloadMaintenance(benchmark::State& state) {
+  size_t records = static_cast<size_t>(state.range(0));
+  double delta_fraction = static_cast<double>(state.range(1)) / 100.0;
+  auto stack = Stack::Make();
+  etl::SyntheticSource source("VR", etl::SourceRepresentation::kFlatFile,
+                              etl::SourceCapability::kLogged, 8081);
+  if (!source.Populate(records, 400).ok()) {
+    state.SkipWithError("populate failed");
+    return;
+  }
+  etl::EtlPipeline pipeline(stack->warehouse.get());
+  if (!pipeline.AddSource(&source).ok() || !pipeline.InitialLoad().ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)source.EvolveStep(delta_fraction);
+    state.ResumeTiming();
+    if (Status s = pipeline.FullReload(); !s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["delta_pct"] = static_cast<double>(state.range(1));
+}
+
+// (records, delta percent) sweep.
+BENCHMARK(BM_IncrementalMaintenance)
+    ->Args({50, 2})
+    ->Args({50, 20})
+    ->Args({50, 80})
+    ->Args({200, 2})
+    ->Args({200, 20});
+BENCHMARK(BM_FullReloadMaintenance)
+    ->Args({50, 2})
+    ->Args({50, 20})
+    ->Args({50, 80})
+    ->Args({200, 2})
+    ->Args({200, 20});
+
+}  // namespace
+}  // namespace genalg::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Figure 1 / Sec. 3+5 experiment: the query-driven (mediator) baseline
+// against the Unifying Database on identical multi-source workloads.
+//
+// The paper's claim: materialized integration gives "superior query
+// processing performance in multi-source environments", at the price of
+// maintenance. Expected shape: warehouse query latency is roughly flat in
+// the number of sources and far below the mediator's, whose latency grows
+// with total source volume; the crossover appears only when source update
+// rates are so high that maintenance dominates (reported as counters).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "bql/bql.h"
+#include "gdt/ops.h"
+#include "mediator/mediator.h"
+#include "seq/nucleotide_sequence.h"
+
+namespace genalg::bench {
+namespace {
+
+constexpr size_t kRecordsPerSource = 24;
+constexpr size_t kSequenceLength = 600;
+
+// The shared question: which entries contain this pattern?
+const char* kPattern = "ATTGCCATA";
+
+void BM_MediatorContainsQuery(benchmark::State& state) {
+  size_t n_sources = static_cast<size_t>(state.range(0));
+  auto sources = MakeSources(n_sources, kRecordsPerSource, kSequenceLength);
+  mediator::Mediator mediator;
+  for (auto& source : sources) mediator.AddSource(source.get());
+  auto pattern = seq::NucleotideSequence::Dna(kPattern).value();
+  uint64_t shipped_before = mediator.total_records_shipped();
+  size_t hits = 0;
+  for (auto _ : state) {
+    auto result = mediator.FindContaining(pattern);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    hits = result->size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["sources"] = static_cast<double>(n_sources);
+  state.counters["records_shipped_per_query"] =
+      static_cast<double>(mediator.total_records_shipped() -
+                          shipped_before) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_WarehouseContainsQuery(benchmark::State& state) {
+  size_t n_sources = static_cast<size_t>(state.range(0));
+  auto stack = Stack::Make();
+  auto sources = MakeSources(n_sources, kRecordsPerSource, kSequenceLength);
+  etl::EtlPipeline pipeline(stack->warehouse.get());
+  for (auto& source : sources) {
+    if (!pipeline.AddSource(source.get()).ok()) {
+      state.SkipWithError("pipeline setup");
+      return;
+    }
+  }
+  if (!pipeline.InitialLoad().ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  std::string sql = std::string("SELECT accession FROM sequences WHERE "
+                                "contains(seq, parse_dna('") +
+                    kPattern + "'))";
+  for (auto _ : state) {
+    auto result = stack->db->Execute(sql);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+  state.counters["sources"] = static_cast<double>(n_sources);
+}
+
+// With a genomic index the warehouse gap widens further (Sec. 6.5).
+void BM_WarehouseIndexedContainsQuery(benchmark::State& state) {
+  size_t n_sources = static_cast<size_t>(state.range(0));
+  auto stack = Stack::Make();
+  auto sources = MakeSources(n_sources, kRecordsPerSource, kSequenceLength);
+  etl::EtlPipeline pipeline(stack->warehouse.get());
+  for (auto& source : sources) (void)pipeline.AddSource(source.get());
+  if (!pipeline.InitialLoad().ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  if (!stack->db->CreateKmerIndex("sequences", "seq").ok()) {
+    state.SkipWithError("index failed");
+    return;
+  }
+  std::string sql = std::string("SELECT accession FROM sequences WHERE "
+                                "contains(seq, parse_dna('") +
+                    kPattern + "'))";
+  for (auto _ : state) {
+    auto result = stack->db->Execute(sql);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+  state.counters["sources"] = static_cast<double>(n_sources);
+}
+
+// The warehouse's price: keeping up with updates. Reported as time per
+// maintenance round at increasing update intensity, so the reader can
+// compute the crossover query rate for any workload mix.
+void BM_WarehouseMaintenanceRound(benchmark::State& state) {
+  size_t n_sources = 4;
+  double p_update =
+      static_cast<double>(state.range(0)) / 100.0;  // Fraction updated.
+  auto stack = Stack::Make();
+  auto sources = MakeSources(n_sources, kRecordsPerSource, kSequenceLength);
+  etl::EtlPipeline pipeline(stack->warehouse.get());
+  for (auto& source : sources) (void)pipeline.AddSource(source.get());
+  if (!pipeline.InitialLoad().ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  size_t deltas = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& source : sources) (void)source->EvolveStep(p_update);
+    state.ResumeTiming();
+    auto stats = pipeline.RunOnce();
+    if (!stats.ok()) state.SkipWithError(stats.status().ToString().c_str());
+    deltas += stats->deltas_detected;
+  }
+  state.counters["update_pct"] = static_cast<double>(state.range(0));
+  state.counters["deltas_per_round"] =
+      static_cast<double>(deltas) / static_cast<double>(state.iterations());
+}
+
+BENCHMARK(BM_MediatorContainsQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_WarehouseContainsQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_WarehouseIndexedContainsQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_WarehouseMaintenanceRound)->Arg(5)->Arg(20)->Arg(50);
+
+}  // namespace
+}  // namespace genalg::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Figure 2 experiment: cost of each change-detection technique across the
+// source-capability x data-representation grid, plus the polling-
+// frequency trade-off the paper discusses ("if the PF is too high,
+// performance can degrade; conversely, important changes may not be
+// detected in a timely manner").
+//
+// Expected shape: trigger < log-inspection < polling differential <<
+// snapshot diff, with snapshot diff growing with repository size and the
+// textual algorithms (LCS / tree diff / keyed differential) dominating
+// its cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "etl/diff.h"
+#include "etl/monitor.h"
+
+namespace genalg::bench {
+namespace {
+
+using etl::SourceCapability;
+using etl::SourceRepresentation;
+
+void DetectionRound(benchmark::State& state, SourceCapability capability,
+                    SourceRepresentation representation) {
+  size_t n_records = static_cast<size_t>(state.range(0));
+  etl::SyntheticSource source("F2", representation, capability, 777);
+  if (!source.Populate(n_records, 300).ok()) {
+    state.SkipWithError("populate failed");
+    return;
+  }
+  auto monitor = etl::MakeMonitorFor(&source);
+  if (!monitor.ok()) {
+    state.SkipWithError(monitor.status().ToString().c_str());
+    return;
+  }
+  (void)(*monitor)->Poll();  // Baseline.
+  size_t detected = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)source.EvolveStep(0.1);
+    state.ResumeTiming();
+    auto deltas = (*monitor)->Poll();
+    if (!deltas.ok()) {
+      state.SkipWithError(deltas.status().ToString().c_str());
+      return;
+    }
+    detected += deltas->size();
+  }
+  state.counters["records"] = static_cast<double>(n_records);
+  state.counters["deltas_per_poll"] =
+      static_cast<double>(detected) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_Trigger_FlatFile(benchmark::State& state) {
+  DetectionRound(state, SourceCapability::kActive,
+                 SourceRepresentation::kFlatFile);
+}
+void BM_LogInspection_Relational(benchmark::State& state) {
+  DetectionRound(state, SourceCapability::kLogged,
+                 SourceRepresentation::kRelational);
+}
+void BM_PollingDifferential_Hierarchical(benchmark::State& state) {
+  DetectionRound(state, SourceCapability::kQueryable,
+                 SourceRepresentation::kHierarchical);
+}
+void BM_SnapshotLcs_FlatFile(benchmark::State& state) {
+  DetectionRound(state, SourceCapability::kNonQueryable,
+                 SourceRepresentation::kFlatFile);
+}
+void BM_SnapshotTreeDiff_Hierarchical(benchmark::State& state) {
+  DetectionRound(state, SourceCapability::kNonQueryable,
+                 SourceRepresentation::kHierarchical);
+}
+void BM_SnapshotDifferential_Relational(benchmark::State& state) {
+  DetectionRound(state, SourceCapability::kNonQueryable,
+                 SourceRepresentation::kRelational);
+}
+
+BENCHMARK(BM_Trigger_FlatFile)->Arg(20)->Arg(80);
+BENCHMARK(BM_LogInspection_Relational)->Arg(20)->Arg(80);
+BENCHMARK(BM_PollingDifferential_Hierarchical)->Arg(20)->Arg(80);
+BENCHMARK(BM_SnapshotLcs_FlatFile)->Arg(20)->Arg(80);
+BENCHMARK(BM_SnapshotTreeDiff_Hierarchical)->Arg(20)->Arg(80);
+BENCHMARK(BM_SnapshotDifferential_Relational)->Arg(20)->Arg(80);
+
+// The raw diff algorithms themselves, isolated from record parsing.
+void BM_RawLcsDiff(benchmark::State& state) {
+  size_t n_lines = static_cast<size_t>(state.range(0));
+  Rng rng(801);
+  std::vector<std::string> before;
+  for (size_t i = 0; i < n_lines; ++i) before.push_back(rng.RandomDna(60));
+  std::vector<std::string> after = before;
+  for (size_t i = 0; i < n_lines / 20 + 1; ++i) {
+    after[rng.Uniform(after.size())] = rng.RandomDna(60);
+  }
+  for (auto _ : state) {
+    auto edits = etl::LcsDiff(before, after);
+    benchmark::DoNotOptimize(edits.size());
+  }
+  state.counters["lines"] = static_cast<double>(n_lines);
+}
+BENCHMARK(BM_RawLcsDiff)->Arg(100)->Arg(400)->Arg(1600);
+
+// Polling frequency trade-off: cost per poll vs staleness. One update
+// burst is applied, then `polls_per_burst` polls run; higher PF finds the
+// change sooner (staleness = bursts missed) but pays more version scans.
+void BM_PollingFrequencySweep(benchmark::State& state) {
+  size_t polls_per_burst = static_cast<size_t>(state.range(0));
+  etl::SyntheticSource source("PF", SourceRepresentation::kFlatFile,
+                              SourceCapability::kQueryable, 805);
+  if (!source.Populate(60, 300).ok()) {
+    state.SkipWithError("populate failed");
+    return;
+  }
+  auto monitor = etl::PollingMonitor::Attach(&source);
+  if (!monitor.ok()) {
+    state.SkipWithError("attach failed");
+    return;
+  }
+  (void)(*monitor)->Poll();
+  uint64_t fetched_before = (*monitor)->entries_fetched();
+  size_t rounds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)source.EvolveStep(0.05);
+    state.ResumeTiming();
+    for (size_t p = 0; p < polls_per_burst; ++p) {
+      auto deltas = (*monitor)->Poll();
+      if (!deltas.ok()) state.SkipWithError("poll failed");
+      benchmark::DoNotOptimize(deltas->size());
+    }
+    ++rounds;
+  }
+  state.counters["polls_per_change_burst"] =
+      static_cast<double>(polls_per_burst);
+  state.counters["entries_fetched_per_burst"] =
+      static_cast<double>((*monitor)->entries_fetched() - fetched_before) /
+      static_cast<double>(rounds);
+}
+BENCHMARK(BM_PollingFrequencySweep)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace genalg::bench
+
+BENCHMARK_MAIN();

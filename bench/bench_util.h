@@ -1,0 +1,63 @@
+#ifndef GENALG_BENCH_BENCH_UTIL_H_
+#define GENALG_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/signature.h"
+#include "base/rng.h"
+#include "etl/pipeline.h"
+#include "etl/source.h"
+#include "etl/warehouse.h"
+#include "udb/adapter.h"
+#include "udb/database.h"
+
+namespace genalg::bench {
+
+/// The assembled Figure 3 stack used by the benchmarks: algebra, adapter
+/// with standard UDTs, Unifying Database, warehouse.
+struct Stack {
+  algebra::SignatureRegistry algebra;
+  std::unique_ptr<udb::Adapter> adapter;
+  std::unique_ptr<udb::Database> db;
+  std::unique_ptr<etl::Warehouse> warehouse;
+
+  static std::unique_ptr<Stack> Make(size_t pool_pages = 1024) {
+    auto stack = std::make_unique<Stack>();
+    if (!algebra::RegisterStandardAlgebra(&stack->algebra).ok()) abort();
+    stack->adapter = std::make_unique<udb::Adapter>(&stack->algebra);
+    if (!udb::RegisterStandardUdts(stack->adapter.get()).ok()) abort();
+    stack->db = std::make_unique<udb::Database>(stack->adapter.get(),
+                                                nullptr, pool_pages);
+    stack->warehouse = std::make_unique<etl::Warehouse>(stack->db.get());
+    if (!stack->warehouse->InitSchema().ok()) abort();
+    return stack;
+  }
+};
+
+/// Creates `n` populated synthetic sources cycling over capability and
+/// representation classes.
+inline std::vector<std::unique_ptr<etl::SyntheticSource>> MakeSources(
+    size_t n, size_t records_each, size_t seq_len, uint64_t seed = 9000) {
+  using etl::SourceCapability;
+  using etl::SourceRepresentation;
+  static constexpr SourceCapability kCaps[] = {
+      SourceCapability::kLogged, SourceCapability::kQueryable,
+      SourceCapability::kNonQueryable, SourceCapability::kActive};
+  static constexpr SourceRepresentation kReprs[] = {
+      SourceRepresentation::kFlatFile, SourceRepresentation::kHierarchical,
+      SourceRepresentation::kRelational};
+  std::vector<std::unique_ptr<etl::SyntheticSource>> sources;
+  for (size_t i = 0; i < n; ++i) {
+    auto source = std::make_unique<etl::SyntheticSource>(
+        "B" + std::to_string(i), kReprs[i % 3], kCaps[i % 4], seed + i);
+    if (!source->Populate(records_each, seq_len).ok()) abort();
+    sources.push_back(std::move(source));
+  }
+  return sources;
+}
+
+}  // namespace genalg::bench
+
+#endif  // GENALG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,196 @@
+// Biologist REPL: the user-interface layer of Sec. 6.4 as a terminal
+// session. Queries typed in the biological query language are translated
+// to extended SQL and executed against a freshly loaded Unifying
+// Database. With no stdin (or with --demo), a scripted session runs.
+//
+// Run:  ./build/examples/biologist_repl --demo
+//       echo 'count sequences' | ./build/examples/biologist_repl
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "algebra/signature.h"
+#include "align/aligner.h"
+#include "bql/bql.h"
+#include "bql/render.h"
+#include "gdt/feature.h"
+#include "etl/pipeline.h"
+#include "etl/source.h"
+#include "etl/warehouse.h"
+#include "udb/adapter.h"
+#include "udb/database.h"
+
+namespace {
+
+// Fetches one accession's sequence from the warehouse.
+genalg::Result<genalg::seq::NucleotideSequence> FetchSequence(
+    genalg::udb::Database* db, const std::string& accession) {
+  GENALG_ASSIGN_OR_RETURN(
+      auto rows, db->Execute("SELECT seq FROM sequences WHERE accession = '" +
+                             accession + "'"));
+  if (rows.rows.empty()) {
+    return genalg::Status::NotFound("no sequence '" + accession + "'");
+  }
+  GENALG_ASSIGN_OR_RETURN(auto value,
+                          db->adapter().ToValue(rows.rows[0][0]));
+  return value.AsNucSeq();
+}
+
+// "map <accession>": the Sec. 6.4 graphical output facility.
+void RunMap(genalg::udb::Database* db, const std::string& accession) {
+  using namespace genalg;
+  auto sequence = FetchSequence(db, accession);
+  if (!sequence.ok()) {
+    std::printf("  !! %s\n", sequence.status().ToString().c_str());
+    return;
+  }
+  auto feature_rows = db->Execute(
+      "SELECT fid, kind, begin, fin, strand, confidence FROM features "
+      "WHERE accession = '" + accession + "'");
+  std::vector<gdt::Feature> features;
+  if (feature_rows.ok()) {
+    for (const auto& row : feature_rows->rows) {
+      gdt::Feature f;
+      f.id = row[0].AsString().value_or("?");
+      f.kind = gdt::FeatureKindFromString(row[1].AsString().value_or(""));
+      f.span = {static_cast<uint64_t>(row[2].AsInt().value_or(0)),
+                static_cast<uint64_t>(row[3].AsInt().value_or(0))};
+      std::string strand = row[4].AsString().value_or("+");
+      f.strand = strand == "-" ? gdt::Strand::kReverse
+                               : gdt::Strand::kForward;
+      f.confidence = row[5].AsReal().value_or(1.0);
+      features.push_back(std::move(f));
+    }
+  }
+  std::printf("%s",
+              bql::RenderFeatureMap(sequence->size(), features, 64).c_str());
+}
+
+// "align <acc1> <acc2>": local alignment, rendered.
+void RunAlign(genalg::udb::Database* db, const std::string& a,
+              const std::string& b) {
+  using namespace genalg;
+  auto seq_a = FetchSequence(db, a);
+  auto seq_b = FetchSequence(db, b);
+  if (!seq_a.ok() || !seq_b.ok()) {
+    std::printf("  !! %s\n", (!seq_a.ok() ? seq_a.status() : seq_b.status())
+                                 .ToString()
+                                 .c_str());
+    return;
+  }
+  auto alignment = align::LocalAlign(*seq_a, *seq_b);
+  if (!alignment.ok()) {
+    std::printf("  !! %s\n", alignment.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", bql::RenderAlignment(*alignment, 60).c_str());
+}
+
+void RunQuery(genalg::udb::Database* db, const std::string& line) {
+  auto sql = genalg::bql::TranslateBql(line);
+  if (!sql.ok()) {
+    std::printf("  ?? %s\n", sql.status().ToString().c_str());
+    return;
+  }
+  std::printf("  [sql] %s\n", sql->c_str());
+  auto result = db->Execute(*sql);
+  if (!result.ok()) {
+    std::printf("  !! %s\n", result.status().ToString().c_str());
+    return;
+  }
+  for (size_t c = 0; c < result->columns.size(); ++c) {
+    std::printf("%s%s", c ? " | " : "  ", result->columns[c].c_str());
+  }
+  std::printf("\n");
+  size_t shown = 0;
+  for (const auto& row : result->rows) {
+    std::printf("  ");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%s", c ? " | " : "", row[c].ToString().c_str());
+    }
+    std::printf("\n");
+    if (++shown == 10 && result->rows.size() > 10) {
+      std::printf("  ... (%zu rows)\n", result->rows.size());
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace genalg;
+  bool demo = argc > 1 && std::strcmp(argv[1], "--demo") == 0;
+
+  algebra::SignatureRegistry registry;
+  if (!algebra::RegisterStandardAlgebra(&registry).ok()) return 1;
+  udb::Adapter adapter(&registry);
+  if (!udb::RegisterStandardUdts(&adapter).ok()) return 1;
+  udb::Database db(&adapter);
+  etl::Warehouse warehouse(&db);
+  if (!warehouse.InitSchema().ok()) return 1;
+
+  etl::SyntheticSource source("REPL", etl::SourceRepresentation::kFlatFile,
+                              etl::SourceCapability::kLogged, 7);
+  (void)source.Populate(30, 500);
+  etl::EtlPipeline pipeline(&warehouse);
+  (void)pipeline.AddSource(&source);
+  if (!pipeline.InitialLoad().ok()) return 1;
+
+  std::printf("GenAlg biologist shell — %lld sequences loaded.\n",
+              static_cast<long long>(*warehouse.SequenceCount()));
+  std::printf(
+      "Try:  find sequences containing ATTGCCATA\n"
+      "      count sequences with gc above 0.5\n"
+      "      show length of sequences first 5\n"
+      "      find features of <accession>\n\n");
+
+  if (demo) {
+    const char* script[] = {
+        "count sequences",
+        "count sequences with gc above 0.5",
+        "show gc of sequences first 5",
+        "find sequences with length above 600 first 5",
+        "show organism of sequences first 3",
+    };
+    for (const char* line : script) {
+      std::printf("bql> %s\n", line);
+      RunQuery(&db, line);
+    }
+    // The rendered outputs (Sec. 6.4).
+    auto first = db.Execute(
+        "SELECT accession FROM sequences ORDER BY accession LIMIT 2");
+    if (first.ok() && first->rows.size() == 2) {
+      std::string acc_a = *first->rows[0][0].AsString();
+      std::string acc_b = *first->rows[1][0].AsString();
+      std::printf("bql> map %s\n", acc_a.c_str());
+      RunMap(&db, acc_a);
+      std::printf("bql> align %s %s\n", acc_a.c_str(), acc_b.c_str());
+      RunAlign(&db, acc_a, acc_b);
+    }
+    return 0;
+  }
+
+  std::string line;
+  while (std::printf("bql> "), std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+    if (line.rfind("map ", 0) == 0) {
+      RunMap(&db, line.substr(4));
+      continue;
+    }
+    if (line.rfind("align ", 0) == 0) {
+      size_t space = line.find(' ', 6);
+      if (space == std::string::npos) {
+        std::printf("  usage: align <accession1> <accession2>\n");
+        continue;
+      }
+      RunAlign(&db, line.substr(6, space - 6), line.substr(space + 1));
+      continue;
+    }
+    RunQuery(&db, line);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Change monitor: every cell family of the paper's Figure 2 in action.
+// Four sources — active, logged, queryable, non-queryable — across the
+// three data representations evolve for several rounds; the matching
+// monitor strategy (trigger / log inspection / polling differential /
+// snapshot diff) detects each round's changes.
+//
+// Run:  ./build/examples/change_monitor
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "etl/monitor.h"
+#include "etl/source.h"
+
+int main() {
+  using namespace genalg;
+  using etl::SourceCapability;
+  using etl::SourceRepresentation;
+
+  struct Cell {
+    const char* label;
+    SourceCapability capability;
+    SourceRepresentation representation;
+  };
+  const Cell cells[] = {
+      {"active / flat file (database trigger)", SourceCapability::kActive,
+       SourceRepresentation::kFlatFile},
+      {"logged / relational (inspect log)", SourceCapability::kLogged,
+       SourceRepresentation::kRelational},
+      {"queryable / hierarchical (polling differential)",
+       SourceCapability::kQueryable, SourceRepresentation::kHierarchical},
+      {"non-queryable / flat file (LCS snapshot diff)",
+       SourceCapability::kNonQueryable, SourceRepresentation::kFlatFile},
+      {"non-queryable / hierarchical (tree diff)",
+       SourceCapability::kNonQueryable,
+       SourceRepresentation::kHierarchical},
+      {"non-queryable / relational (snapshot differential)",
+       SourceCapability::kNonQueryable, SourceRepresentation::kRelational},
+  };
+
+  std::vector<std::unique_ptr<etl::SyntheticSource>> sources;
+  std::vector<std::unique_ptr<etl::SourceMonitor>> monitors;
+  uint64_t seed = 3000;
+  for (const Cell& cell : cells) {
+    auto source = std::make_unique<etl::SyntheticSource>(
+        std::string("S") + std::to_string(sources.size()),
+        cell.representation, cell.capability, seed++);
+    (void)source->Populate(12, 250);
+    auto monitor = etl::MakeMonitorFor(source.get());
+    if (!monitor.ok()) {
+      std::fprintf(stderr, "monitor setup failed: %s\n",
+                   monitor.status().ToString().c_str());
+      return 1;
+    }
+    monitors.push_back(std::move(*monitor));
+    sources.push_back(std::move(source));
+    // Baseline poll so initial content is not reported as inserts.
+    (void)monitors.back()->Poll();
+  }
+
+  for (int round = 1; round <= 3; ++round) {
+    std::printf("=== evolution round %d ===\n", round);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      (void)sources[i]->EvolveStep(0.25, /*p_churn=*/0.8);
+      auto deltas = monitors[i]->Poll();
+      if (!deltas.ok()) {
+        std::printf("%-55s  poll error: %s\n", cells[i].label,
+                    deltas.status().ToString().c_str());
+        continue;
+      }
+      size_t inserts = 0;
+      size_t updates = 0;
+      size_t deletes = 0;
+      for (const etl::Delta& d : *deltas) {
+        inserts += d.kind == etl::Delta::Kind::kInsert;
+        updates += d.kind == etl::Delta::Kind::kUpdate;
+        deletes += d.kind == etl::Delta::Kind::kDelete;
+      }
+      std::printf("%-55s  +%zu ~%zu -%zu  (now %zu records)\n",
+                  cells[i].label, inserts, updates, deletes,
+                  sources[i]->record_count());
+    }
+  }
+
+  // The delta representation itself (Sec. 5.2): show one in full.
+  (void)sources[1]->EvolveStep(1.0);
+  auto deltas = monitors[1]->Poll();
+  if (deltas.ok() && !deltas->empty()) {
+    const etl::Delta& d = deltas->front();
+    std::printf(
+        "\na delta carries: item=%s kind=%s source=%s lsn=%llu "
+        "a-priori=%s a-posteriori=%s\n",
+        d.accession.c_str(),
+        d.kind == etl::Delta::Kind::kUpdate ? "update" : "other",
+        d.source.c_str(), static_cast<unsigned long long>(d.source_lsn),
+        d.before ? "yes" : "no", d.after ? "yes" : "no");
+  }
+  return 0;
+}

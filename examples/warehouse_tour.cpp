@@ -1,0 +1,121 @@
+// Warehouse tour: the full Figure 3 architecture end to end.
+//
+// Three heterogeneous synthetic repositories (GenBank-style flat file,
+// ACeDB-style hierarchical, relational) are monitored, extracted,
+// reconciled, and loaded into the Unifying Database; then the extended
+// SQL of Sec. 6.3 — including the paper's own `contains` query — runs
+// against the public space, sources evolve, and incremental maintenance
+// keeps the warehouse in sync.
+//
+// Run:  ./build/examples/warehouse_tour
+
+#include <cstdio>
+
+#include "algebra/signature.h"
+#include "etl/pipeline.h"
+#include "etl/source.h"
+#include "etl/warehouse.h"
+#include "udb/adapter.h"
+#include "udb/database.h"
+
+int main() {
+  using namespace genalg;
+
+  // ---- The stack: algebra -> adapter (UDTs) -> database -> warehouse.
+  algebra::SignatureRegistry registry;
+  if (!algebra::RegisterStandardAlgebra(&registry).ok()) return 1;
+  udb::Adapter adapter(&registry);
+  if (!udb::RegisterStandardUdts(&adapter).ok()) return 1;
+  udb::Database db(&adapter);
+  etl::Warehouse warehouse(&db);
+  if (Status s = warehouse.InitSchema(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // ---- Three repositories across the Figure 2 grid.
+  etl::SyntheticSource genbankish("GBK", etl::SourceRepresentation::kFlatFile,
+                                  etl::SourceCapability::kLogged, 1001);
+  etl::SyntheticSource acedbish(
+      "ACE", etl::SourceRepresentation::kHierarchical,
+      etl::SourceCapability::kNonQueryable, 1002);
+  etl::SyntheticSource relational("REL",
+                                  etl::SourceRepresentation::kRelational,
+                                  etl::SourceCapability::kQueryable, 1003);
+  (void)genbankish.Populate(20, 400);
+  (void)acedbish.Populate(15, 400);
+  (void)relational.Populate(15, 400);
+
+  etl::EtlPipeline pipeline(&warehouse);
+  (void)pipeline.AddSource(&genbankish);
+  (void)pipeline.AddSource(&acedbish);
+  (void)pipeline.AddSource(&relational);
+  if (Status s = pipeline.InitialLoad(); !s.ok()) {
+    std::fprintf(stderr, "initial load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %lld reconciled entities from 3 repositories\n",
+              static_cast<long long>(*warehouse.SequenceCount()));
+
+  auto run = [&](const char* sql) {
+    std::printf("\nsql> %s\n", sql);
+    auto result = db.Execute(sql);
+    if (!result.ok()) {
+      std::printf("  error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    for (size_t c = 0; c < result->columns.size(); ++c) {
+      std::printf("%s%s", c ? " | " : "  ", result->columns[c].c_str());
+    }
+    std::printf("\n");
+    size_t shown = 0;
+    for (const auto& row : result->rows) {
+      std::printf("  ");
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c ? " | " : "", row[c].ToString().c_str());
+      }
+      std::printf("\n");
+      if (++shown == 6 && result->rows.size() > 6) {
+        std::printf("  ... (%zu rows total)\n", result->rows.size());
+        break;
+      }
+    }
+  };
+
+  // ---- Extended SQL over the public space (Sec. 6.3).
+  run("SELECT count(*) FROM sequences");
+  run("SELECT organism, count(*) AS n, avg(gc_content(seq)) FROM sequences "
+      "GROUP BY organism ORDER BY n DESC");
+  run("SELECT accession, length(seq) FROM sequences "
+      "ORDER BY length(seq) DESC LIMIT 3");
+  // The paper's own example predicate.
+  run("SELECT accession FROM sequences "
+      "WHERE contains(seq, parse_dna('ATTGCCATA'))");
+  run("SELECT s.accession, f.kind, f.begin, f.fin FROM sequences s "
+      "JOIN features f ON s.accession = f.accession "
+      "WHERE f.confidence < 0.7 LIMIT 5");
+
+  // ---- User space: self-generated data living beside public data (C13).
+  (void)db.Execute(
+      "CREATE TABLE my_probes (name TEXT, probe NUCSEQ) SPACE USER");
+  (void)db.Execute(
+      "INSERT INTO my_probes VALUES ('p1', parse_dna('ATTGCCATA')), "
+      "('p2', parse_dna('GGGGGGGGGG'))");
+  run("SELECT my_probes.name, count(*) FROM my_probes, sequences "
+      "WHERE contains(sequences.seq, my_probes.probe) "
+      "GROUP BY my_probes.name");
+
+  // ---- Sources change; the warehouse follows incrementally.
+  (void)genbankish.EvolveStep(0.3, 1.0);
+  (void)relational.EvolveStep(0.3, 1.0);
+  auto stats = pipeline.RunOnce();
+  if (stats.ok()) {
+    std::printf(
+        "\nmaintenance round: %zu deltas detected and applied; warehouse "
+        "now holds %lld entities (rows written so far: %llu)\n",
+        stats->deltas_detected,
+        static_cast<long long>(*warehouse.SequenceCount()),
+        static_cast<unsigned long long>(warehouse.rows_written()));
+  }
+  return 0;
+}

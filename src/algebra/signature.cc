@@ -1,0 +1,156 @@
+#include "algebra/signature.h"
+
+#include <algorithm>
+
+namespace genalg::algebra {
+
+std::string OperatorSignature::ToString() const {
+  std::string out = name + " : ";
+  if (arg_sorts.empty()) {
+    out += "()";
+  } else {
+    for (size_t i = 0; i < arg_sorts.size(); ++i) {
+      if (i > 0) out += " x ";
+      out += arg_sorts[i];
+    }
+  }
+  out += " -> " + result_sort;
+  return out;
+}
+
+Status SignatureRegistry::RegisterSort(std::string name,
+                                       std::string description) {
+  if (name.empty()) return Status::InvalidArgument("empty sort name");
+  if (sorts_.count(name) != 0) {
+    return Status::AlreadyExists("sort '" + name + "' already registered");
+  }
+  std::string key = name;
+  sorts_.emplace(std::move(key),
+                 SortInfo{std::move(name), std::move(description)});
+  return Status::OK();
+}
+
+bool SignatureRegistry::HasSort(std::string_view name) const {
+  return sorts_.find(name) != sorts_.end();
+}
+
+std::vector<SortInfo> SignatureRegistry::ListSorts() const {
+  std::vector<SortInfo> out;
+  out.reserve(sorts_.size());
+  for (const auto& [name, info] : sorts_) out.push_back(info);
+  return out;
+}
+
+Status SignatureRegistry::RegisterOperator(OperatorSignature signature,
+                                           GenomicFunction fn,
+                                           std::string description) {
+  if (signature.name.empty()) {
+    return Status::InvalidArgument("empty operator name");
+  }
+  for (const std::string& sort : signature.arg_sorts) {
+    if (!HasSort(sort)) {
+      return Status::NotFound("argument sort '" + sort +
+                              "' is not registered");
+    }
+  }
+  if (!HasSort(signature.result_sort)) {
+    return Status::NotFound("result sort '" + signature.result_sort +
+                            "' is not registered");
+  }
+  auto& overloads = operators_[signature.name];
+  for (const OperatorEntry& entry : overloads) {
+    if (entry.signature.arg_sorts == signature.arg_sorts) {
+      return Status::AlreadyExists("operator '" + signature.ToString() +
+                                   "' already registered");
+    }
+  }
+  overloads.push_back(OperatorEntry{std::move(signature), std::move(fn),
+                                    std::move(description)});
+  return Status::OK();
+}
+
+Status SignatureRegistry::DeclareOperator(OperatorSignature signature,
+                                          std::string description) {
+  return RegisterOperator(std::move(signature), nullptr,
+                          std::move(description));
+}
+
+Result<const OperatorSignature*> SignatureRegistry::Resolve(
+    std::string_view name, const std::vector<std::string>& arg_sorts) const {
+  auto it = operators_.find(name);
+  if (it == operators_.end()) {
+    return Status::NotFound("no operator named '" + std::string(name) + "'");
+  }
+  for (const OperatorEntry& entry : it->second) {
+    if (entry.signature.arg_sorts == arg_sorts) return &entry.signature;
+  }
+  std::string sorts;
+  for (size_t i = 0; i < arg_sorts.size(); ++i) {
+    if (i > 0) sorts += ", ";
+    sorts += arg_sorts[i];
+  }
+  return Status::NotFound("no overload of '" + std::string(name) +
+                          "' accepts (" + sorts + ")");
+}
+
+std::vector<OperatorSignature> SignatureRegistry::OverloadsOf(
+    std::string_view name) const {
+  std::vector<OperatorSignature> out;
+  auto it = operators_.find(name);
+  if (it == operators_.end()) return out;
+  for (const OperatorEntry& entry : it->second) {
+    out.push_back(entry.signature);
+  }
+  return out;
+}
+
+std::vector<OperatorSignature> SignatureRegistry::ListOperators() const {
+  std::vector<OperatorSignature> out;
+  for (const auto& [name, overloads] : operators_) {
+    for (const OperatorEntry& entry : overloads) {
+      out.push_back(entry.signature);
+    }
+  }
+  return out;
+}
+
+std::string SignatureRegistry::Documentation(std::string_view name) const {
+  auto it = operators_.find(name);
+  if (it == operators_.end() || it->second.empty()) return "";
+  return it->second.front().description;
+}
+
+Result<Value> SignatureRegistry::Apply(std::string_view name,
+                                       const std::vector<Value>& args) const {
+  auto it = operators_.find(name);
+  if (it == operators_.end()) {
+    return Status::NotFound("no operator named '" + std::string(name) + "'");
+  }
+  std::vector<std::string> arg_sorts;
+  arg_sorts.reserve(args.size());
+  for (const Value& v : args) arg_sorts.emplace_back(v.sort());
+  for (const OperatorEntry& entry : it->second) {
+    if (entry.signature.arg_sorts != arg_sorts) continue;
+    if (!entry.fn) {
+      return Status::Unimplemented(
+          "operator '" + entry.signature.ToString() +
+          "' has a declared signature but no operational semantics");
+    }
+    return entry.fn(args);
+  }
+  std::string sorts;
+  for (size_t i = 0; i < arg_sorts.size(); ++i) {
+    if (i > 0) sorts += ", ";
+    sorts += arg_sorts[i];
+  }
+  return Status::NotFound("no overload of '" + std::string(name) +
+                          "' accepts (" + sorts + ")");
+}
+
+size_t SignatureRegistry::operator_count() const {
+  size_t total = 0;
+  for (const auto& [name, overloads] : operators_) total += overloads.size();
+  return total;
+}
+
+}  // namespace genalg::algebra

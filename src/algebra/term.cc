@@ -1,0 +1,61 @@
+#include "algebra/term.h"
+
+namespace genalg::algebra {
+
+Term Term::Constant(Value value) {
+  Term t;
+  t.is_constant_ = true;
+  t.value_ = std::move(value);
+  return t;
+}
+
+Term Term::Apply(std::string op, std::vector<Term> args) {
+  Term t;
+  t.is_constant_ = false;
+  t.op_ = std::move(op);
+  t.args_ = std::move(args);
+  return t;
+}
+
+Term Term::Apply(std::string op, Term arg) {
+  std::vector<Term> args;
+  args.push_back(std::move(arg));
+  return Apply(std::move(op), std::move(args));
+}
+
+Result<std::string> Term::Sort(const SignatureRegistry& registry) const {
+  if (is_constant_) return std::string(value_.sort());
+  std::vector<std::string> arg_sorts;
+  arg_sorts.reserve(args_.size());
+  for (const Term& arg : args_) {
+    GENALG_ASSIGN_OR_RETURN(std::string s, arg.Sort(registry));
+    arg_sorts.push_back(std::move(s));
+  }
+  GENALG_ASSIGN_OR_RETURN(const OperatorSignature* sig,
+                          registry.Resolve(op_, arg_sorts));
+  return sig->result_sort;
+}
+
+Result<Value> Term::Evaluate(const SignatureRegistry& registry) const {
+  if (is_constant_) return value_;
+  std::vector<Value> arg_values;
+  arg_values.reserve(args_.size());
+  for (const Term& arg : args_) {
+    GENALG_ASSIGN_OR_RETURN(Value v, arg.Evaluate(registry));
+    arg_values.push_back(std::move(v));
+  }
+  return registry.Apply(op_, arg_values);
+}
+
+std::string Term::ToString() const {
+  if (is_constant_) return value_.ToDisplayString();
+  std::string out = op_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace genalg::algebra

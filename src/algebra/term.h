@@ -1,0 +1,62 @@
+#ifndef GENALG_ALGEBRA_TERM_H_
+#define GENALG_ALGEBRA_TERM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/signature.h"
+#include "algebra/value.h"
+#include "base/result.h"
+
+namespace genalg::algebra {
+
+/// A term of the many-sorted algebra: either a constant (an element of a
+/// carrier set) or an operator applied to sub-terms, e.g. the paper's
+///
+///   translate(splice(transcribe(g)))
+///
+/// Terms separate syntax from semantics: Sort() type-checks against a
+/// registry without evaluating anything, so a term over declared-only
+/// operators (splice before anyone knows how to compute it, Sec. 4.3) is
+/// still a well-sorted object one can store, print, and reason about.
+class Term {
+ public:
+  /// A constant term.
+  static Term Constant(Value value);
+
+  /// An application term. Children are moved in.
+  static Term Apply(std::string op, std::vector<Term> args);
+
+  /// Convenience for unary application.
+  static Term Apply(std::string op, Term arg);
+
+  bool is_constant() const { return is_constant_; }
+  const std::string& op() const { return op_; }
+  const Value& constant() const { return value_; }
+  const std::vector<Term>& args() const { return args_; }
+
+  /// The sort of the term under `registry`: the constant's sort, or the
+  /// result sort of the outermost operator. Fails if any operator cannot
+  /// be resolved for its argument sorts.
+  Result<std::string> Sort(const SignatureRegistry& registry) const;
+
+  /// Evaluates bottom-up. Fails with Unimplemented if a declared-only
+  /// operator is reached.
+  Result<Value> Evaluate(const SignatureRegistry& registry) const;
+
+  /// "op(child, child)" rendering with elided constants.
+  std::string ToString() const;
+
+ private:
+  Term() = default;
+
+  bool is_constant_ = true;
+  Value value_;
+  std::string op_;
+  std::vector<Term> args_;
+};
+
+}  // namespace genalg::algebra
+
+#endif  // GENALG_ALGEBRA_TERM_H_

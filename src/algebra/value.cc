@@ -1,0 +1,78 @@
+#include "algebra/value.h"
+
+namespace genalg::algebra {
+
+namespace {
+
+// Truncates long payload renderings for display.
+std::string Elide(std::string s, size_t max = 24) {
+  if (s.size() <= max) return s;
+  return s.substr(0, max) + "...(" + std::to_string(s.size()) + ")";
+}
+
+}  // namespace
+
+std::string_view Value::sort() const {
+  struct Visitor {
+    std::string_view operator()(const std::monostate&) { return "null"; }
+    std::string_view operator()(const bool&) { return kSortBool; }
+    std::string_view operator()(const int64_t&) { return kSortInt; }
+    std::string_view operator()(const double&) { return kSortReal; }
+    std::string_view operator()(const std::string&) { return kSortString; }
+    std::string_view operator()(const seq::NucleotideSequence&) {
+      return kSortNucSeq;
+    }
+    std::string_view operator()(const seq::ProteinSequence&) {
+      return kSortProtSeq;
+    }
+    std::string_view operator()(const gdt::Gene&) { return kSortGene; }
+    std::string_view operator()(const gdt::PrimaryTranscript&) {
+      return kSortPrimaryTranscript;
+    }
+    std::string_view operator()(const gdt::MRna&) { return kSortMRna; }
+    std::string_view operator()(const gdt::Protein&) { return kSortProtein; }
+    std::string_view operator()(const OpaqueValue& v) { return v.sort; }
+  };
+  return std::visit(Visitor{}, payload_);
+}
+
+Result<OpaqueValue> Value::AsOpaque() const {
+  if (const OpaqueValue* v = std::get_if<OpaqueValue>(&payload_)) return *v;
+  return Status::InvalidArgument("value of sort '" + std::string(sort()) +
+                                 "' is not an opaque value");
+}
+
+std::string Value::ToDisplayString() const {
+  struct Visitor {
+    std::string operator()(const std::monostate&) { return "null"; }
+    std::string operator()(const bool& v) { return v ? "true" : "false"; }
+    std::string operator()(const int64_t& v) { return std::to_string(v); }
+    std::string operator()(const double& v) { return std::to_string(v); }
+    std::string operator()(const std::string& v) {
+      return "\"" + Elide(v) + "\"";
+    }
+    std::string operator()(const seq::NucleotideSequence& v) {
+      return Elide(v.ToString());
+    }
+    std::string operator()(const seq::ProteinSequence& v) {
+      return Elide(v.ToString());
+    }
+    std::string operator()(const gdt::Gene& v) { return "gene(" + v.id + ")"; }
+    std::string operator()(const gdt::PrimaryTranscript& v) {
+      return "primarytranscript(" + v.gene_id + ")";
+    }
+    std::string operator()(const gdt::MRna& v) {
+      return "mrna(" + v.gene_id + ")";
+    }
+    std::string operator()(const gdt::Protein& v) {
+      return "protein(" + v.id + ")";
+    }
+    std::string operator()(const OpaqueValue& v) {
+      return v.sort + "(" +
+             std::to_string(v.bytes ? v.bytes->size() : 0) + " bytes)";
+    }
+  };
+  return std::visit(Visitor{}, payload_);
+}
+
+}  // namespace genalg::algebra

@@ -1,0 +1,81 @@
+#ifndef GENALG_ALIGN_ALIGNER_H_
+#define GENALG_ALIGN_ALIGNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "align/scoring.h"
+#include "base/result.h"
+#include "seq/nucleotide_sequence.h"
+#include "seq/protein_sequence.h"
+
+namespace genalg::align {
+
+/// The result of a pairwise alignment. `aligned_a` and `aligned_b` are
+/// equal-length gapped renderings ('-' marks a gap); for local alignments
+/// the [begin, end) spans give the aligned window of each input.
+struct Alignment {
+  int64_t score = 0;
+  std::string aligned_a;
+  std::string aligned_b;
+  size_t begin_a = 0;
+  size_t end_a = 0;
+  size_t begin_b = 0;
+  size_t end_b = 0;
+
+  /// Number of alignment columns (including gap columns).
+  size_t Length() const { return aligned_a.size(); }
+
+  /// Fraction of columns whose residues match exactly (gap columns count
+  /// against identity); 0 for an empty alignment.
+  double Identity() const;
+};
+
+/// Needleman–Wunsch global alignment with affine gaps (Gotoh).
+/// Complexity O(|a|*|b|) time and memory.
+Result<Alignment> GlobalAlign(std::string_view a, std::string_view b,
+                              const SubstitutionMatrix& scoring,
+                              const GapPenalties& gaps = GapPenalties());
+
+/// Smith–Waterman local alignment with affine gaps. Returns the single
+/// best-scoring local alignment (empty alignment with score 0 when nothing
+/// scores positively).
+Result<Alignment> LocalAlign(std::string_view a, std::string_view b,
+                             const SubstitutionMatrix& scoring,
+                             const GapPenalties& gaps = GapPenalties());
+
+/// Banded Needleman–Wunsch with linear gap cost `gap` (per gapped column,
+/// negative): only cells with |i - j| <= band are filled, giving
+/// O(band * max(|a|,|b|)) time. InvalidArgument if the band cannot bridge
+/// the length difference of the inputs.
+Result<Alignment> BandedGlobalAlign(std::string_view a, std::string_view b,
+                                    const SubstitutionMatrix& scoring,
+                                    int gap, size_t band);
+
+/// Convenience overloads on the GDT sequence types.
+Result<Alignment> GlobalAlign(const seq::NucleotideSequence& a,
+                              const seq::NucleotideSequence& b,
+                              const GapPenalties& gaps = GapPenalties());
+Result<Alignment> LocalAlign(const seq::NucleotideSequence& a,
+                             const seq::NucleotideSequence& b,
+                             const GapPenalties& gaps = GapPenalties());
+Result<Alignment> GlobalAlign(const seq::ProteinSequence& a,
+                              const seq::ProteinSequence& b,
+                              const GapPenalties& gaps = GapPenalties());
+Result<Alignment> LocalAlign(const seq::ProteinSequence& a,
+                             const seq::ProteinSequence& b,
+                             const GapPenalties& gaps = GapPenalties());
+
+/// The paper's `resembles` operator (Sec. 6.3): true iff the best local
+/// alignment of the two sequences covers at least `min_overlap` bases and
+/// reaches at least `min_identity` (fraction in [0, 1]) over the aligned
+/// window. This is the user-defined predicate the Unifying Database
+/// registers for use inside SQL.
+Result<bool> Resembles(const seq::NucleotideSequence& a,
+                       const seq::NucleotideSequence& b,
+                       double min_identity = 0.8, size_t min_overlap = 16);
+
+}  // namespace genalg::align
+
+#endif  // GENALG_ALIGN_ALIGNER_H_

@@ -1,0 +1,78 @@
+#include "align/scoring.h"
+
+#include <cctype>
+
+#include "seq/alphabet.h"
+
+namespace genalg::align {
+
+namespace {
+
+// BLOSUM62 in the canonical symbol order.
+constexpr std::string_view kBlosumSymbols = "ARNDCQEGHILKMFPSTWYVBZX*";
+
+constexpr int8_t kBlosum62[24 * 24] = {
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   B   Z   X   *
+     4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, -2, -1,  0, -4,  // A
+    -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, -1,  0, -1, -4,  // R
+    -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3,  3,  0, -1, -4,  // N
+    -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3,  4,  1, -1, -4,  // D
+     0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -3, -3, -2, -4,  // C
+    -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2,  0,  3, -1, -4,  // Q
+    -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4,  // E
+     0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, -1, -2, -1, -4,  // G
+    -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3,  0,  0, -1, -4,  // H
+    -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, -3, -3, -1, -4,  // I
+    -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, -4, -3, -1, -4,  // L
+    -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2,  0,  1, -1, -4,  // K
+    -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, -3, -1, -1, -4,  // M
+    -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, -3, -3, -1, -4,  // F
+    -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, -2, -1, -2, -4,  // P
+     1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2,  0,  0,  0, -4,  // S
+     0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, -1, -1,  0, -4,  // T
+    -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, -4, -3, -2, -4,  // W
+    -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, -3, -2, -1, -4,  // Y
+     0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, -3, -2, -1, -4,  // V
+    -2, -1,  3,  4, -3,  0,  1, -1,  0, -3, -4,  0, -3, -3, -2,  0, -1, -4, -3, -3,  4,  1, -1, -4,  // B
+    -1,  0,  0,  1, -3,  3,  4, -2,  0, -3, -3,  1, -1, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4,  // Z
+     0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2,  0,  0, -2, -1, -1, -1, -1, -1, -4,  // X
+    -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4,  1,  // *
+};
+
+int BlosumIndex(char c) {
+  char up = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  size_t pos = kBlosumSymbols.find(up);
+  if (pos != std::string_view::npos) return static_cast<int>(pos);
+  return 22;  // 'X'.
+}
+
+}  // namespace
+
+SubstitutionMatrix SubstitutionMatrix::Nucleotide(int match, int mismatch) {
+  SubstitutionMatrix m;
+  m.kind_ = Kind::kNucleotide;
+  m.match_ = match;
+  m.mismatch_ = mismatch;
+  return m;
+}
+
+const SubstitutionMatrix& SubstitutionMatrix::Blosum62() {
+  static const SubstitutionMatrix& instance = [] {
+    auto* m = new SubstitutionMatrix();
+    m->kind_ = Kind::kMatrix;
+    m->matrix_ = kBlosum62;
+    return *m;
+  }();
+  return instance;
+}
+
+int SubstitutionMatrix::Score(char a, char b) const {
+  if (kind_ == Kind::kMatrix) {
+    return matrix_[BlosumIndex(a) * 24 + BlosumIndex(b)];
+  }
+  seq::BaseCode ca, cb;
+  if (!seq::CharToBase(a, &ca) || !seq::CharToBase(b, &cb)) return mismatch_;
+  return seq::BasesCompatible(ca, cb) ? match_ : mismatch_;
+}
+
+}  // namespace genalg::align

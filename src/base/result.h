@@ -1,0 +1,82 @@
+#ifndef GENALG_BASE_RESULT_H_
+#define GENALG_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace genalg {
+
+/// A value-or-error carrier: either an OK Status plus a T, or a non-OK
+/// Status and no value. Equivalent in spirit to arrow::Result / absl::StatusOr.
+///
+///   Result<Protein> p = Translate(mrna);
+///   if (!p.ok()) return p.status();
+///   Use(p.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor): intended implicit.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status. Passing an OK status
+  /// here is a programming error.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors; valid only when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+/// Usable in functions returning Status or Result<U>.
+#define GENALG_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto GENALG_CONCAT_(_genalg_res_, __LINE__) = (expr);              \
+  if (!GENALG_CONCAT_(_genalg_res_, __LINE__).ok()) \
+    return GENALG_CONCAT_(_genalg_res_, __LINE__).status();          \
+  lhs = std::move(GENALG_CONCAT_(_genalg_res_, __LINE__)).value()
+
+#define GENALG_CONCAT_IMPL_(a, b) a##b
+#define GENALG_CONCAT_(a, b) GENALG_CONCAT_IMPL_(a, b)
+
+}  // namespace genalg
+
+#endif  // GENALG_BASE_RESULT_H_

@@ -1,0 +1,87 @@
+#ifndef GENALG_BASE_RNG_H_
+#define GENALG_BASE_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace genalg {
+
+/// Deterministic pseudo-random generator (xorshift128+) used by every
+/// synthetic-data generator in the project so that experiments reproduce
+/// bit-for-bit across runs. Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed yields the same stream.
+  explicit Rng(uint64_t seed = 42) {
+    // SplitMix64 expansion of the seed into two non-zero words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Picks one character from the non-empty alphabet.
+  char Pick(std::string_view alphabet) {
+    return alphabet[Uniform(alphabet.size())];
+  }
+
+  /// Random string over the alphabet.
+  std::string RandomString(size_t length, std::string_view alphabet) {
+    std::string out;
+    out.reserve(length);
+    for (size_t i = 0; i < length; ++i) out.push_back(Pick(alphabet));
+    return out;
+  }
+
+  /// Random DNA string over ACGT.
+  std::string RandomDna(size_t length) { return RandomString(length, "ACGT"); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace genalg
+
+#endif  // GENALG_BASE_RNG_H_

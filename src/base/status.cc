@@ -1,0 +1,43 @@
+#include "base/status.h"
+
+namespace genalg {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kIoError:
+      return "io error";
+    case StatusCode::kUncertain:
+      return "uncertain";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace genalg

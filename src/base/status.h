@@ -1,0 +1,128 @@
+#ifndef GENALG_BASE_STATUS_H_
+#define GENALG_BASE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace genalg {
+
+/// Error categories used across the GenAlg libraries.
+///
+/// The library does not throw exceptions; every fallible operation returns
+/// a Status (or a Result<T>, see result.h). Codes are deliberately coarse:
+/// the message carries the detail, the code carries the handling policy.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< Entity (record, term, table, file) does not exist.
+  kAlreadyExists,     ///< Unique entity would be duplicated.
+  kOutOfRange,        ///< Index / position outside the valid domain.
+  kCorruption,        ///< Stored or parsed data violates its format.
+  kUnimplemented,     ///< Declared in the signature but not yet executable
+                      ///< (the paper's "known signature, unknown operational
+                      ///< semantics" case, Sec. 4.3).
+  kFailedPrecondition,///< Object not in the state required by the call.
+  kResourceExhausted, ///< A fixed capacity (pool, page, buffer) is full.
+  kIoError,           ///< Underlying I/O failed.
+  kUncertain,         ///< Result exists but is flagged biologically
+                      ///< uncertain beyond the caller's tolerance (C9).
+};
+
+/// Returns the canonical lowercase name of a status code, e.g. "not found".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-type error carrier, modeled on the RocksDB/Arrow idiom.
+///
+/// A Status is cheap to copy in the OK case (empty message) and carries a
+/// human-readable message otherwise. Use the static factories:
+///
+///   Status s = Status::InvalidArgument("empty sequence");
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Uncertain(std::string msg) {
+    return Status(StatusCode::kUncertain, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  /// The human-readable detail message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsUncertain() const { return code_ == StatusCode::kUncertain; }
+
+  /// "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning Status.
+#define GENALG_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::genalg::Status _genalg_st = (expr);           \
+    if (!_genalg_st.ok()) return _genalg_st;        \
+  } while (false)
+
+}  // namespace genalg
+
+#endif  // GENALG_BASE_STATUS_H_

@@ -1,0 +1,260 @@
+#include "bql/bql.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#include "base/strings.h"
+#include "seq/nucleotide_sequence.h"
+
+namespace genalg::bql {
+
+namespace {
+
+// Splits into words, honoring double-quoted phrases.
+Result<std::vector<std::string>> TokenizeBql(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    if (text[i] == '"') {
+      size_t end = text.find('"', i + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated quoted phrase");
+      }
+      tokens.emplace_back(text.substr(i + 1, end - i - 1));
+      i = end + 1;
+      continue;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool IsKeyword(const std::string& token, std::string_view keyword) {
+  return EqualsIgnoreCase(token, keyword);
+}
+
+Result<double> ParseNumber(const std::string& token) {
+  char* end = nullptr;
+  double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return Status::InvalidArgument("expected a number, got '" + token + "'");
+  }
+  return v;
+}
+
+Status CheckDna(const std::string& token) {
+  auto parsed = seq::NucleotideSequence::Dna(token);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("'" + token +
+                                   "' is not a DNA pattern: " +
+                                   parsed.status().message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BqlQuery> ParseBql(std::string_view text) {
+  GENALG_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                          TokenizeBql(text));
+  if (tokens.empty()) return Status::InvalidArgument("empty query");
+  BqlQuery query;
+  size_t pos = 0;
+  auto next = [&]() -> Result<std::string> {
+    if (pos >= tokens.size()) {
+      return Status::InvalidArgument("query ended unexpectedly");
+    }
+    return tokens[pos++];
+  };
+
+  // Action.
+  GENALG_ASSIGN_OR_RETURN(std::string action, next());
+  if (IsKeyword(action, "find")) {
+    query.action = BqlQuery::Action::kFind;
+  } else if (IsKeyword(action, "count")) {
+    query.action = BqlQuery::Action::kCount;
+  } else if (IsKeyword(action, "show")) {
+    query.action = BqlQuery::Action::kShow;
+    GENALG_ASSIGN_OR_RETURN(std::string metric, next());
+    if (IsKeyword(metric, "gc")) {
+      query.metric = BqlQuery::Metric::kGc;
+    } else if (IsKeyword(metric, "length")) {
+      query.metric = BqlQuery::Metric::kLength;
+    } else if (IsKeyword(metric, "confidence")) {
+      query.metric = BqlQuery::Metric::kConfidence;
+    } else if (IsKeyword(metric, "organism")) {
+      query.metric = BqlQuery::Metric::kOrganism;
+    } else {
+      return Status::InvalidArgument("unknown metric '" + metric +
+                                     "' (gc, length, confidence, organism)");
+    }
+    GENALG_ASSIGN_OR_RETURN(std::string of, next());
+    if (!IsKeyword(of, "of")) {
+      return Status::InvalidArgument("expected OF after the metric");
+    }
+  } else {
+    return Status::InvalidArgument("queries start with FIND, COUNT, or "
+                                   "SHOW <metric> OF");
+  }
+
+  // Target.
+  GENALG_ASSIGN_OR_RETURN(std::string target, next());
+  if (IsKeyword(target, "sequences")) {
+    query.target = BqlQuery::Target::kSequences;
+  } else if (IsKeyword(target, "features")) {
+    query.target = BqlQuery::Target::kFeatures;
+  } else {
+    return Status::InvalidArgument("unknown target '" + target +
+                                   "' (sequences or features)");
+  }
+
+  // Clauses.
+  while (pos < tokens.size()) {
+    GENALG_ASSIGN_OR_RETURN(std::string word, next());
+    if (IsKeyword(word, "from")) {
+      GENALG_ASSIGN_OR_RETURN(std::string organism, next());
+      query.organism = organism;
+    } else if (IsKeyword(word, "containing")) {
+      GENALG_ASSIGN_OR_RETURN(std::string dna, next());
+      GENALG_RETURN_IF_ERROR(CheckDna(dna));
+      query.containing = ToUpperAscii(dna);
+    } else if (IsKeyword(word, "resembling")) {
+      GENALG_ASSIGN_OR_RETURN(std::string dna, next());
+      GENALG_RETURN_IF_ERROR(CheckDna(dna));
+      query.resembling = ToUpperAscii(dna);
+    } else if (IsKeyword(word, "of")) {
+      GENALG_ASSIGN_OR_RETURN(std::string accession, next());
+      query.accession = accession;
+    } else if (IsKeyword(word, "first")) {
+      GENALG_ASSIGN_OR_RETURN(std::string n, next());
+      GENALG_ASSIGN_OR_RETURN(double v, ParseNumber(n));
+      query.limit = static_cast<int64_t>(v);
+    } else if (IsKeyword(word, "with")) {
+      GENALG_ASSIGN_OR_RETURN(std::string what, next());
+      GENALG_ASSIGN_OR_RETURN(std::string direction, next());
+      bool above;
+      if (IsKeyword(direction, "above")) {
+        above = true;
+      } else if (IsKeyword(direction, "below")) {
+        above = false;
+      } else {
+        return Status::InvalidArgument("expected ABOVE or BELOW after '" +
+                                       what + "'");
+      }
+      GENALG_ASSIGN_OR_RETURN(std::string number, next());
+      GENALG_ASSIGN_OR_RETURN(double value, ParseNumber(number));
+      BqlQuery::Bound bound{above, value};
+      if (IsKeyword(what, "gc")) {
+        query.gc_bound = bound;
+      } else if (IsKeyword(what, "length")) {
+        query.length_bound = bound;
+      } else if (IsKeyword(what, "confidence")) {
+        query.confidence_bound = bound;
+      } else {
+        return Status::InvalidArgument("unknown property '" + what +
+                                       "' (gc, length, confidence)");
+      }
+    } else {
+      return Status::InvalidArgument("unexpected word '" + word + "'");
+    }
+  }
+
+  if (query.target == BqlQuery::Target::kFeatures &&
+      (query.containing || query.resembling || query.gc_bound ||
+       query.length_bound)) {
+    return Status::InvalidArgument(
+        "sequence clauses do not apply to features");
+  }
+  if (query.target == BqlQuery::Target::kFeatures &&
+      query.action == BqlQuery::Action::kShow &&
+      query.metric != BqlQuery::Metric::kConfidence) {
+    return Status::InvalidArgument(
+        "features support only 'show confidence of features'");
+  }
+  return query;
+}
+
+std::string BqlQuery::Compile() const {
+  std::string select;
+  std::string table =
+      target == Target::kSequences ? "sequences" : "features";
+  switch (action) {
+    case Action::kCount:
+      select = "count(*)";
+      break;
+    case Action::kFind:
+      if (target == Target::kSequences) {
+        select = "accession, organism, description, confidence";
+      } else {
+        select = "accession, fid, kind, begin, fin, strand, confidence";
+      }
+      break;
+    case Action::kShow: {
+      std::string metric_sql;
+      switch (metric) {
+        case Metric::kGc: metric_sql = "gc_content(seq)"; break;
+        case Metric::kLength: metric_sql = "length(seq)"; break;
+        case Metric::kConfidence: metric_sql = "confidence"; break;
+        case Metric::kOrganism: metric_sql = "organism"; break;
+      }
+      select = "accession, " + metric_sql;
+      break;
+    }
+  }
+  std::vector<std::string> predicates;
+  if (organism) {
+    predicates.push_back("organism = '" + *organism + "'");
+  }
+  if (containing) {
+    predicates.push_back("contains(seq, parse_dna('" + *containing + "'))");
+  }
+  if (resembling) {
+    predicates.push_back("resembles(seq, parse_dna('" + *resembling +
+                         "'))");
+  }
+  if (accession) {
+    predicates.push_back("accession = '" + *accession + "'");
+  }
+  auto bound_sql = [&](const char* column, const Bound& bound) {
+    return std::string(column) + (bound.above ? " > " : " < ") +
+           std::to_string(bound.value);
+  };
+  if (gc_bound) predicates.push_back(bound_sql("gc_content(seq)", *gc_bound));
+  if (length_bound) {
+    predicates.push_back(bound_sql("length(seq)", *length_bound));
+  }
+  if (confidence_bound) {
+    predicates.push_back(bound_sql("confidence", *confidence_bound));
+  }
+
+  std::string sql = "SELECT " + select + " FROM " + table;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    sql += i == 0 ? " WHERE " : " AND ";
+    sql += predicates[i];
+  }
+  if (action != Action::kCount) sql += " ORDER BY accession";
+  if (limit >= 0) sql += " LIMIT " + std::to_string(limit);
+  return sql;
+}
+
+Result<std::string> TranslateBql(std::string_view text) {
+  GENALG_ASSIGN_OR_RETURN(BqlQuery query, ParseBql(text));
+  return query.Compile();
+}
+
+Result<udb::QueryResult> RunBql(udb::Database* db, std::string_view text) {
+  GENALG_ASSIGN_OR_RETURN(std::string sql, TranslateBql(text));
+  return db->Execute(sql);
+}
+
+}  // namespace genalg::bql

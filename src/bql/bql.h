@@ -1,0 +1,78 @@
+#ifndef GENALG_BQL_BQL_H_
+#define GENALG_BQL_BQL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "udb/database.h"
+
+namespace genalg::bql {
+
+/// The biological query language of Sec. 6.4: "biologists frequently
+/// dislike SQL ... the issue is here to design such a biological query
+/// language based on the biologists' needs. A query formulated in this
+/// query language will then be mapped to the extended SQL of the Unifying
+/// Database."
+///
+/// Grammar (keywords case-insensitive):
+///
+///   query   := action target clause*
+///   action  := FIND | COUNT | SHOW metric OF
+///   metric  := GC | LENGTH | CONFIDENCE | ORGANISM
+///   target  := SEQUENCES | FEATURES
+///   clause  := FROM <organism (quoted if multi-word)>
+///            | CONTAINING <dna>
+///            | RESEMBLING <dna>
+///            | OF <accession>                  (features)
+///            | WITH GC ABOVE|BELOW <number>
+///            | WITH LENGTH ABOVE|BELOW <number>
+///            | WITH CONFIDENCE ABOVE|BELOW <number>
+///            | FIRST <n>
+///
+/// Examples:
+///   find sequences from "Synthetica exempli" containing ATTGCCATA
+///   count sequences with gc above 0.5
+///   show gc of sequences resembling ACGTACGTACGTACGT
+///   find features of SRC100001
+///
+/// The compiler targets the warehouse's public schema (sequences /
+/// features tables as created by etl::Warehouse).
+struct BqlQuery {
+  enum class Action { kFind, kCount, kShow };
+  enum class Target { kSequences, kFeatures };
+  enum class Metric { kGc, kLength, kConfidence, kOrganism };
+
+  Action action = Action::kFind;
+  Target target = Target::kSequences;
+  Metric metric = Metric::kGc;  // For kShow.
+  std::optional<std::string> organism;
+  std::optional<std::string> containing;   // DNA pattern.
+  std::optional<std::string> resembling;   // DNA pattern.
+  std::optional<std::string> accession;    // For features.
+  struct Bound {
+    bool above = true;
+    double value = 0;
+  };
+  std::optional<Bound> gc_bound;
+  std::optional<Bound> length_bound;
+  std::optional<Bound> confidence_bound;
+  int64_t limit = -1;
+
+  /// Renders the extended-SQL translation.
+  std::string Compile() const;
+};
+
+/// Parses one biologist query.
+Result<BqlQuery> ParseBql(std::string_view text);
+
+/// Parses, compiles, and reports the SQL (for display / debugging).
+Result<std::string> TranslateBql(std::string_view text);
+
+/// Parses, compiles, and executes against the Unifying Database.
+Result<udb::QueryResult> RunBql(udb::Database* db, std::string_view text);
+
+}  // namespace genalg::bql
+
+#endif  // GENALG_BQL_BQL_H_

@@ -1,0 +1,137 @@
+#include "bql/render.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace genalg::bql {
+
+std::string RenderFeatureMap(uint64_t sequence_length,
+                             const std::vector<gdt::Feature>& features,
+                             size_t width) {
+  width = std::max<size_t>(width, 16);
+  std::string out;
+  if (sequence_length == 0) {
+    return "(empty sequence)\n";
+  }
+  double scale = static_cast<double>(width) /
+                 static_cast<double>(sequence_length);
+  auto column = [&](uint64_t pos) {
+    size_t c = static_cast<size_t>(static_cast<double>(pos) * scale);
+    return std::min(c, width - 1);
+  };
+
+  // Ruler: tick labels every ~width/4 columns.
+  std::string labels(width, ' ');
+  std::string ticks(width, '-');
+  for (int tick = 0; tick <= 3; ++tick) {
+    size_t col = tick * (width - 1) / 3;
+    uint64_t pos = tick == 3 ? sequence_length
+                             : static_cast<uint64_t>(
+                                   static_cast<double>(col) / scale);
+    ticks[col] = '|';
+    std::string label = std::to_string(pos);
+    size_t start = col + label.size() > width ? width - label.size() : col;
+    for (size_t i = 0; i < label.size(); ++i) {
+      labels[start + i] = label[i];
+    }
+  }
+  out += labels + "\n" + ticks + "\n";
+
+  for (const gdt::Feature& f : features) {
+    if (f.span.begin >= sequence_length || f.span.empty()) continue;
+    uint64_t end = std::min<uint64_t>(f.span.end, sequence_length);
+    size_t from = column(f.span.begin);
+    size_t to = std::max(column(end - 1), from);
+    std::string track(width, ' ');
+    for (size_t c = from; c <= to; ++c) track[c] = '=';
+    if (f.strand == gdt::Strand::kForward) {
+      track[to] = '>';
+    } else if (f.strand == gdt::Strand::kReverse) {
+      track[from] = '<';
+    }
+    out += track + "  " + std::string(gdt::FeatureKindToString(f.kind)) +
+           " " + f.id;
+    if (f.confidence < 1.0) {
+      char buffer[16];
+      std::snprintf(buffer, sizeof(buffer), " (%.2f)", f.confidence);
+      out += buffer;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderAlignment(const align::Alignment& alignment,
+                            size_t width) {
+  width = std::max<size_t>(width, 10);
+  if (alignment.Length() == 0) {
+    return "(empty alignment)\n";
+  }
+  std::string out;
+  size_t pos_a = alignment.begin_a;
+  size_t pos_b = alignment.begin_b;
+  for (size_t offset = 0; offset < alignment.Length(); offset += width) {
+    size_t n = std::min(width, alignment.Length() - offset);
+    std::string line_a = alignment.aligned_a.substr(offset, n);
+    std::string line_b = alignment.aligned_b.substr(offset, n);
+    std::string bar;
+    bar.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (line_a[i] == '-' || line_b[i] == '-') {
+        bar.push_back(' ');
+      } else if (line_a[i] == line_b[i]) {
+        bar.push_back('|');
+      } else {
+        bar.push_back('.');
+      }
+    }
+    char header_a[32];
+    char header_b[32];
+    std::snprintf(header_a, sizeof(header_a), "a %8zu ", pos_a);
+    std::snprintf(header_b, sizeof(header_b), "b %8zu ", pos_b);
+    out += header_a + line_a + "\n";
+    out += std::string(11, ' ') + bar + "\n";
+    out += header_b + line_b + "\n\n";
+    for (char c : line_a) {
+      if (c != '-') ++pos_a;
+    }
+    for (char c : line_b) {
+      if (c != '-') ++pos_b;
+    }
+  }
+  char footer[96];
+  std::snprintf(footer, sizeof(footer),
+                "score %lld, identity %.1f%%, %zu columns\n",
+                static_cast<long long>(alignment.score),
+                alignment.Identity() * 100.0, alignment.Length());
+  out += footer;
+  return out;
+}
+
+std::string RenderHistogram(
+    const std::vector<std::pair<std::string, double>>& values,
+    size_t width) {
+  width = std::max<size_t>(width, 8);
+  if (values.empty()) return "(no data)\n";
+  double max_value = 0;
+  size_t label_width = 0;
+  for (const auto& [label, value] : values) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::string out;
+  for (const auto& [label, value] : values) {
+    size_t bar = max_value <= 0
+                     ? 0
+                     : static_cast<size_t>(value / max_value *
+                                           static_cast<double>(width));
+    out += label + std::string(label_width - label.size(), ' ') + " | " +
+           std::string(bar, '#');
+    char number[32];
+    std::snprintf(number, sizeof(number), " %.4g\n", value);
+    out += number;
+  }
+  return out;
+}
+
+}  // namespace genalg::bql

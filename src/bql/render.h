@@ -1,0 +1,53 @@
+#ifndef GENALG_BQL_RENDER_H_
+#define GENALG_BQL_RENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "align/aligner.h"
+#include "gdt/feature.h"
+
+namespace genalg::bql {
+
+/// The graphical output description facility of Sec. 6.4 ("a graphical
+/// output description language whose commands can be combined with
+/// expressions of the biological query language"), realized as terminal
+/// renderings: feature maps, alignment blocks, and histograms that query
+/// layers can attach to their results.
+
+/// Draws a coordinate ruler plus one track per feature:
+///
+///   0        1000      2000      3000
+///   |---------|---------|---------|----
+///       ==========>              gene PG1
+///            <=====               exon E2 (0.75)
+///
+/// Forward strand renders '==>', reverse '<==', unknown '=='. Features
+/// with confidence < 1 carry it in the label. Zero-length sequences and
+/// features outside the sequence are handled gracefully (clipped).
+std::string RenderFeatureMap(uint64_t sequence_length,
+                             const std::vector<gdt::Feature>& features,
+                             size_t width = 72);
+
+/// Renders a pairwise alignment in blocks with a match bar:
+///
+///   a    101 ACGT-ACGT
+///            |||| ||·|
+///   b     88 ACGTAACTT
+///
+/// '|' = identical, '·' = substitution, ' ' = gap column.
+std::string RenderAlignment(const align::Alignment& alignment,
+                            size_t width = 60);
+
+/// Horizontal bar chart of labeled values (e.g. GC per accession, codon
+/// usage). Bars are scaled to the maximum value; empty input renders a
+/// note instead of crashing.
+std::string RenderHistogram(
+    const std::vector<std::pair<std::string, double>>& values,
+    size_t width = 40);
+
+}  // namespace genalg::bql
+
+#endif  // GENALG_BQL_RENDER_H_

@@ -1,0 +1,233 @@
+#include "etl/diff.h"
+
+#include <algorithm>
+
+namespace genalg::etl {
+
+namespace {
+
+// Classic LCS dynamic program over any sequence with an equality
+// predicate; returns the matched index pairs in increasing order.
+template <typename T, typename Eq>
+std::vector<std::pair<size_t, size_t>> LcsPairs(const std::vector<T>& a,
+                                                const std::vector<T>& b,
+                                                Eq eq) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<std::vector<uint32_t>> dp(n + 1,
+                                        std::vector<uint32_t>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      if (eq(a[i], b[j])) {
+        dp[i][j] = dp[i + 1][j + 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i + 1][j], dp[i][j + 1]);
+      }
+    }
+  }
+  std::vector<std::pair<size_t, size_t>> pairs;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n && j < m) {
+    if (eq(a[i], b[j]) && dp[i][j] == dp[i + 1][j + 1] + 1) {
+      pairs.emplace_back(i, j);
+      ++i;
+      ++j;
+    } else if (dp[i + 1][j] >= dp[i][j + 1]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+std::vector<LineEdit> LcsDiff(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  auto pairs = LcsPairs(a, b,
+                        [](const std::string& x, const std::string& y) {
+                          return x == y;
+                        });
+  std::vector<LineEdit> edits;
+  size_t ai = 0;
+  size_t bi = 0;
+  size_t pair_idx = 0;
+  while (ai < a.size() || bi < b.size()) {
+    bool match = pair_idx < pairs.size() && pairs[pair_idx].first == ai &&
+                 pairs[pair_idx].second == bi;
+    if (match) {
+      edits.push_back({LineEdit::Op::kKeep, ai, a[ai]});
+      ++ai;
+      ++bi;
+      ++pair_idx;
+    } else if (ai < a.size() &&
+               (pair_idx >= pairs.size() || pairs[pair_idx].first > ai)) {
+      edits.push_back({LineEdit::Op::kDelete, ai, a[ai]});
+      ++ai;
+    } else {
+      edits.push_back({LineEdit::Op::kInsert, bi, b[bi]});
+      ++bi;
+    }
+  }
+  return edits;
+}
+
+std::vector<std::string> ApplyLineEdits(const std::vector<LineEdit>& edits) {
+  std::vector<std::string> out;
+  for (const LineEdit& e : edits) {
+    if (e.op != LineEdit::Op::kDelete) out.push_back(e.text);
+  }
+  return out;
+}
+
+size_t EditDistance(const std::vector<LineEdit>& edits) {
+  size_t n = 0;
+  for (const LineEdit& e : edits) {
+    if (e.op != LineEdit::Op::kKeep) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+using formats::TreeNode;
+
+void TreeDiffInner(const TreeNode& a, const TreeNode& b,
+                   std::vector<size_t>* path,
+                   std::vector<TreeEdit>* edits) {
+  if (a.value != b.value) {
+    TreeEdit e;
+    e.op = TreeEdit::Op::kUpdateValue;
+    e.path = *path;
+    e.new_value = b.value;
+    edits->push_back(std::move(e));
+  }
+  // Align children by tag (ordered LCS); matched children recurse,
+  // unmatched become subtree deletes/inserts. Indexes in the emitted ops
+  // refer to the evolving tree, applied left to right.
+  auto pairs = LcsPairs(a.children, b.children,
+                        [](const TreeNode& x, const TreeNode& y) {
+                          return x.tag == y.tag;
+                        });
+  size_t ai = 0;
+  size_t bi = 0;
+  size_t pair_idx = 0;
+  size_t cur = 0;  // Index in the evolving child list.
+  while (ai < a.children.size() || bi < b.children.size()) {
+    bool match = pair_idx < pairs.size() && pairs[pair_idx].first == ai &&
+                 pairs[pair_idx].second == bi;
+    if (match) {
+      path->push_back(cur);
+      TreeDiffInner(a.children[ai], b.children[bi], path, edits);
+      path->pop_back();
+      ++ai;
+      ++bi;
+      ++pair_idx;
+      ++cur;
+    } else if (ai < a.children.size() &&
+               (pair_idx >= pairs.size() || pairs[pair_idx].first > ai)) {
+      TreeEdit e;
+      e.op = TreeEdit::Op::kDelete;
+      e.path = *path;
+      e.path.push_back(cur);
+      edits->push_back(std::move(e));
+      ++ai;  // cur stays: the element at cur was removed.
+    } else {
+      TreeEdit e;
+      e.op = TreeEdit::Op::kInsert;
+      e.path = *path;
+      e.path.push_back(cur);
+      e.node = b.children[bi];
+      edits->push_back(std::move(e));
+      ++bi;
+      ++cur;
+    }
+  }
+}
+
+TreeNode* Navigate(TreeNode* root, const std::vector<size_t>& path,
+                   size_t depth) {
+  TreeNode* node = root;
+  for (size_t i = 0; i + depth < path.size(); ++i) {
+    node = &node->children[path[i]];
+  }
+  return node;
+}
+
+}  // namespace
+
+std::vector<TreeEdit> TreeDiff(const TreeNode& a, const TreeNode& b) {
+  std::vector<TreeEdit> edits;
+  if (a.tag != b.tag) {
+    // Root replacement: one insert with an empty path.
+    TreeEdit e;
+    e.op = TreeEdit::Op::kInsert;
+    e.node = b;
+    edits.push_back(std::move(e));
+    return edits;
+  }
+  std::vector<size_t> path;
+  TreeDiffInner(a, b, &path, &edits);
+  return edits;
+}
+
+TreeNode ApplyTreeEdits(const TreeNode& a,
+                        const std::vector<TreeEdit>& edits) {
+  TreeNode root = a;
+  for (const TreeEdit& e : edits) {
+    if (e.path.empty()) {
+      if (e.op == TreeEdit::Op::kInsert) {
+        root = e.node;  // Root replacement.
+      } else if (e.op == TreeEdit::Op::kUpdateValue) {
+        root.value = e.new_value;
+      }
+      continue;
+    }
+    // Navigate to the parent of the target.
+    TreeNode* parent = Navigate(&root, e.path, 1);
+    size_t idx = e.path.back();
+    switch (e.op) {
+      case TreeEdit::Op::kInsert:
+        parent->children.insert(parent->children.begin() + idx, e.node);
+        break;
+      case TreeEdit::Op::kDelete:
+        parent->children.erase(parent->children.begin() + idx);
+        break;
+      case TreeEdit::Op::kUpdateValue:
+        parent->children[idx].value = e.new_value;
+        break;
+    }
+  }
+  return root;
+}
+
+SnapshotDelta SnapshotDifferential(const KeyedSnapshot& before,
+                                   const KeyedSnapshot& after) {
+  SnapshotDelta delta;
+  auto bit = before.begin();
+  auto ait = after.begin();
+  while (bit != before.end() || ait != after.end()) {
+    if (bit == before.end()) {
+      delta.inserted.push_back(ait->first);
+      ++ait;
+    } else if (ait == after.end()) {
+      delta.deleted.push_back(bit->first);
+      ++bit;
+    } else if (bit->first < ait->first) {
+      delta.deleted.push_back(bit->first);
+      ++bit;
+    } else if (ait->first < bit->first) {
+      delta.inserted.push_back(ait->first);
+      ++ait;
+    } else {
+      if (bit->second != ait->second) delta.changed.push_back(bit->first);
+      ++bit;
+      ++ait;
+    }
+  }
+  return delta;
+}
+
+}  // namespace genalg::etl

@@ -1,0 +1,82 @@
+#ifndef GENALG_ETL_DIFF_H_
+#define GENALG_ETL_DIFF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "formats/tree.h"
+
+namespace genalg::etl {
+
+/// The change-detection algorithms of the paper's Figure 2, one per data
+/// representation of a non-queryable / snapshot-exporting source:
+///
+///   flat file     -> longest-common-subsequence line diff ("the approach
+///                    used in the UNIX diff command")
+///   hierarchical  -> ordered-tree diff (acediff / XMLTreeDiff stand-in)
+///   relational    -> snapshot differential over keyed rows
+
+// ------------------------------------------------------------- LCS diff.
+
+/// One operation of a line-level edit script.
+struct LineEdit {
+  enum class Op { kKeep, kInsert, kDelete };
+  Op op;
+  size_t line;        ///< Index in `a` for kKeep/kDelete, in `b` for kInsert.
+  std::string text;
+};
+
+/// Computes an edit script from `a` to `b` using the LCS dynamic program.
+/// Applying the script (keeps + inserts in order) reproduces `b` exactly.
+std::vector<LineEdit> LcsDiff(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b);
+
+/// Replays an edit script: the kKeep/kInsert lines in order.
+std::vector<std::string> ApplyLineEdits(const std::vector<LineEdit>& edits);
+
+/// Number of non-keep operations (the "size" of a change).
+size_t EditDistance(const std::vector<LineEdit>& edits);
+
+// ------------------------------------------------------------ Tree diff.
+
+/// One operation of a hierarchical edit script. Paths address nodes by
+/// child indexes from the root (empty path = root).
+struct TreeEdit {
+  enum class Op { kInsert, kDelete, kUpdateValue };
+  Op op;
+  std::vector<size_t> path;   ///< Target node (kDelete/kUpdateValue) or
+                              ///< insertion position (kInsert).
+  formats::TreeNode node;     ///< Inserted subtree (kInsert).
+  std::string new_value;      ///< kUpdateValue.
+};
+
+/// Diffs two ordered trees: children are aligned by (tag, value-key) LCS
+/// at each level; unmatched children become subtree inserts/deletes, and
+/// matched nodes with differing values become value updates. The script
+/// applied to `a` yields `b`.
+std::vector<TreeEdit> TreeDiff(const formats::TreeNode& a,
+                               const formats::TreeNode& b);
+
+/// Applies a tree edit script to a copy of `a`.
+formats::TreeNode ApplyTreeEdits(const formats::TreeNode& a,
+                                 const std::vector<TreeEdit>& edits);
+
+// ------------------------------------------- Relational snapshot diff.
+
+/// A keyed relational snapshot: primary key -> row rendering.
+using KeyedSnapshot = std::map<std::string, std::string>;
+
+/// The classic snapshot differential.
+struct SnapshotDelta {
+  std::vector<std::string> inserted;  ///< Keys only in `after`.
+  std::vector<std::string> deleted;   ///< Keys only in `before`.
+  std::vector<std::string> changed;   ///< Keys in both, values differ.
+};
+
+SnapshotDelta SnapshotDifferential(const KeyedSnapshot& before,
+                                   const KeyedSnapshot& after);
+
+}  // namespace genalg::etl
+
+#endif  // GENALG_ETL_DIFF_H_

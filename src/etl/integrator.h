@@ -1,0 +1,59 @@
+#ifndef GENALG_ETL_INTEGRATOR_H_
+#define GENALG_ETL_INTEGRATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "formats/record.h"
+
+namespace genalg::etl {
+
+/// One warehouse entity after reconciliation: the merged record, the
+/// provenance of every source that contributed, and — because
+/// "frequently, it cannot be decided from two inconsistent pieces of data,
+/// which one is correct ... access to both alternatives should be given"
+/// (C9) — the conflicting alternatives retained verbatim.
+struct ReconciledEntry {
+  formats::SequenceRecord canonical;
+  std::vector<std::string> provenance;  ///< Contributing source_db names.
+  std::vector<formats::SequenceRecord> alternates;  ///< Conflicts kept.
+  double confidence = 1.0;  ///< 1 / number of distinct sequence variants.
+};
+
+/// The warehouse integrator (Sec. 5.1 step 3): "merging related data items
+/// and removing inconsistencies before the data is loaded".
+///
+/// Matching runs in two stages:
+///  1. by accession — entries sharing an accession are the same entity;
+///     identical sequences merge (features and attributes unioned),
+///     differing sequences become retained alternatives with reduced
+///     confidence;
+///  2. by content — entities under different accessions whose sequences
+///     are near-identical (k-mer candidate generation + local-alignment
+///     identity) merge under the lexicographically smallest accession,
+///     the semantic-heterogeneity case of Sec. 5.2.
+class Integrator {
+ public:
+  struct Options {
+    double min_identity = 0.95;  ///< Alignment identity to merge entities.
+    size_t min_overlap = 32;     ///< Minimum aligned bases to merge.
+    size_t kmer_k = 11;          ///< Candidate-generation word size.
+    bool content_matching = true;  ///< Stage 2 on/off (batch loads only).
+  };
+
+  Integrator() : options_(Options()) {}
+  explicit Integrator(Options options) : options_(options) {}
+
+  /// Reconciles a batch of records (possibly from many sources) into
+  /// warehouse entities, sorted by canonical accession.
+  Result<std::vector<ReconciledEntry>> Reconcile(
+      std::vector<formats::SequenceRecord> incoming) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace genalg::etl
+
+#endif  // GENALG_ETL_INTEGRATOR_H_

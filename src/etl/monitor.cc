@@ -1,0 +1,260 @@
+#include "etl/monitor.h"
+
+#include "base/strings.h"
+#include "etl/diff.h"
+#include "formats/tree.h"
+
+namespace genalg::etl {
+
+using formats::SequenceRecord;
+
+namespace {
+
+Delta FromSourceChange(const std::string& source_name,
+                       const SourceChange& change) {
+  Delta delta;
+  switch (change.kind) {
+    case SourceChange::Kind::kInsert:
+      delta.kind = Delta::Kind::kInsert;
+      break;
+    case SourceChange::Kind::kUpdate:
+      delta.kind = Delta::Kind::kUpdate;
+      break;
+    case SourceChange::Kind::kDelete:
+      delta.kind = Delta::Kind::kDelete;
+      break;
+  }
+  delta.source = source_name;
+  delta.accession = change.accession;
+  delta.before = change.before;
+  delta.after = change.after;
+  delta.source_lsn = change.lsn;
+  return delta;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- Trigger. ---
+
+Result<std::unique_ptr<TriggerMonitor>> TriggerMonitor::Attach(
+    SyntheticSource* source) {
+  auto monitor =
+      std::unique_ptr<TriggerMonitor>(new TriggerMonitor(source));
+  monitor->buffer_ = std::make_shared<std::vector<Delta>>();
+  auto buffer = monitor->buffer_;
+  std::string name = source->name();
+  GENALG_RETURN_IF_ERROR(
+      source->Subscribe([buffer, name](const SourceChange& change) {
+        buffer->push_back(FromSourceChange(name, change));
+      }));
+  return monitor;
+}
+
+Result<std::vector<Delta>> TriggerMonitor::Poll() {
+  std::vector<Delta> out;
+  out.swap(*buffer_);
+  return out;
+}
+
+// -------------------------------------------------------------- Log. ---
+
+Result<std::unique_ptr<LogMonitor>> LogMonitor::Attach(
+    SyntheticSource* source) {
+  if (source->capability() != SourceCapability::kLogged) {
+    return Status::FailedPrecondition(source->name() +
+                                      " does not keep a change log");
+  }
+  return std::unique_ptr<LogMonitor>(new LogMonitor(source));
+}
+
+Result<std::vector<Delta>> LogMonitor::Poll() {
+  GENALG_ASSIGN_OR_RETURN(std::vector<SourceChange> changes,
+                          source_->ReadLog(last_lsn_));
+  std::vector<Delta> out;
+  for (const SourceChange& change : changes) {
+    last_lsn_ = std::max(last_lsn_, change.lsn);
+    out.push_back(FromSourceChange(source_->name(), change));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- Polling. ---
+
+Result<std::unique_ptr<PollingMonitor>> PollingMonitor::Attach(
+    SyntheticSource* source) {
+  if (source->capability() != SourceCapability::kQueryable) {
+    return Status::FailedPrecondition(source->name() + " is not queryable");
+  }
+  return std::unique_ptr<PollingMonitor>(new PollingMonitor(source));
+}
+
+Result<std::vector<Delta>> PollingMonitor::Poll() {
+  GENALG_ASSIGN_OR_RETURN(auto versions, source_->ListVersions());
+  std::vector<Delta> out;
+  std::map<std::string, int> current(versions.begin(), versions.end());
+  // Inserts and updates.
+  for (const auto& [accession, version] : current) {
+    auto seen = seen_versions_.find(accession);
+    if (seen != seen_versions_.end() && seen->second == version) continue;
+    GENALG_ASSIGN_OR_RETURN(SequenceRecord record,
+                            source_->Query(accession));
+    ++entries_fetched_;
+    Delta delta;
+    delta.source = source_->name();
+    delta.accession = accession;
+    delta.source_lsn = source_->lsn();
+    if (seen == seen_versions_.end()) {
+      delta.kind = Delta::Kind::kInsert;
+    } else {
+      delta.kind = Delta::Kind::kUpdate;
+      auto before = cache_.find(accession);
+      if (before != cache_.end()) delta.before = before->second;
+    }
+    delta.after = record;
+    cache_[accession] = std::move(record);
+    out.push_back(std::move(delta));
+  }
+  // Deletes.
+  for (const auto& [accession, version] : seen_versions_) {
+    if (current.count(accession) != 0) continue;
+    Delta delta;
+    delta.kind = Delta::Kind::kDelete;
+    delta.source = source_->name();
+    delta.accession = accession;
+    delta.source_lsn = source_->lsn();
+    auto before = cache_.find(accession);
+    if (before != cache_.end()) {
+      delta.before = before->second;
+      cache_.erase(before);
+    }
+    out.push_back(std::move(delta));
+  }
+  seen_versions_ = std::move(current);
+  return out;
+}
+
+// --------------------------------------------------------- Snapshot. ---
+
+Result<std::unique_ptr<SnapshotMonitor>> SnapshotMonitor::Attach(
+    SyntheticSource* source) {
+  auto monitor =
+      std::unique_ptr<SnapshotMonitor>(new SnapshotMonitor(source));
+  return monitor;
+}
+
+Result<std::vector<Delta>> SnapshotMonitor::Poll() {
+  GENALG_ASSIGN_OR_RETURN(std::string snapshot, source_->Snapshot());
+
+  // The representation-specific diff measures the change (and is what a
+  // real monitor would ship); the record-level deltas come from parsing.
+  switch (source_->representation()) {
+    case SourceRepresentation::kFlatFile: {
+      auto edits = LcsDiff(Split(last_snapshot_, '\n'),
+                           Split(snapshot, '\n'));
+      last_edit_script_size_ = EditDistance(edits);
+      break;
+    }
+    case SourceRepresentation::kHierarchical: {
+      formats::TreeNode before_root{"Dump", "", {}};
+      formats::TreeNode after_root{"Dump", "", {}};
+      auto before_trees = formats::ParseTree(last_snapshot_);
+      auto after_trees = formats::ParseTree(snapshot);
+      if (before_trees.ok()) before_root.children = *before_trees;
+      if (after_trees.ok()) after_root.children = *after_trees;
+      last_edit_script_size_ = TreeDiff(before_root, after_root).size();
+      break;
+    }
+    case SourceRepresentation::kRelational: {
+      KeyedSnapshot before_rows;
+      KeyedSnapshot after_rows;
+      for (const std::string& line : Split(last_snapshot_, '\n')) {
+        size_t bar = line.find('|');
+        if (bar != std::string::npos) {
+          before_rows[line.substr(0, bar)] = line;
+        }
+      }
+      for (const std::string& line : Split(snapshot, '\n')) {
+        size_t bar = line.find('|');
+        if (bar != std::string::npos) {
+          after_rows[line.substr(0, bar)] = line;
+        }
+      }
+      SnapshotDelta d = SnapshotDifferential(before_rows, after_rows);
+      last_edit_script_size_ =
+          d.inserted.size() + d.deleted.size() + d.changed.size();
+      break;
+    }
+  }
+
+  GENALG_ASSIGN_OR_RETURN(
+      std::vector<SequenceRecord> records,
+      SyntheticSource::ParseSnapshot(source_->representation(), snapshot));
+  std::map<std::string, SequenceRecord> current;
+  for (SequenceRecord& record : records) {
+    std::string accession = record.accession;
+    current.emplace(std::move(accession), std::move(record));
+  }
+
+  std::vector<Delta> out;
+  for (const auto& [accession, record] : current) {
+    auto before = last_records_.find(accession);
+    if (before == last_records_.end()) {
+      Delta delta;
+      delta.kind = Delta::Kind::kInsert;
+      delta.source = source_->name();
+      delta.accession = accession;
+      delta.after = record;
+      delta.source_lsn = source_->lsn();
+      out.push_back(std::move(delta));
+    } else if (!(before->second == record)) {
+      Delta delta;
+      delta.kind = Delta::Kind::kUpdate;
+      delta.source = source_->name();
+      delta.accession = accession;
+      delta.before = before->second;
+      delta.after = record;
+      delta.source_lsn = source_->lsn();
+      out.push_back(std::move(delta));
+    }
+  }
+  for (const auto& [accession, record] : last_records_) {
+    if (current.count(accession) != 0) continue;
+    Delta delta;
+    delta.kind = Delta::Kind::kDelete;
+    delta.source = source_->name();
+    delta.accession = accession;
+    delta.before = record;
+    delta.source_lsn = source_->lsn();
+    out.push_back(std::move(delta));
+  }
+  last_snapshot_ = std::move(snapshot);
+  last_records_ = std::move(current);
+  return out;
+}
+
+// ----------------------------------------------------------- Factory. ---
+
+Result<std::unique_ptr<SourceMonitor>> MakeMonitorFor(
+    SyntheticSource* source) {
+  switch (source->capability()) {
+    case SourceCapability::kActive: {
+      GENALG_ASSIGN_OR_RETURN(auto monitor, TriggerMonitor::Attach(source));
+      return std::unique_ptr<SourceMonitor>(std::move(monitor));
+    }
+    case SourceCapability::kLogged: {
+      GENALG_ASSIGN_OR_RETURN(auto monitor, LogMonitor::Attach(source));
+      return std::unique_ptr<SourceMonitor>(std::move(monitor));
+    }
+    case SourceCapability::kQueryable: {
+      GENALG_ASSIGN_OR_RETURN(auto monitor, PollingMonitor::Attach(source));
+      return std::unique_ptr<SourceMonitor>(std::move(monitor));
+    }
+    case SourceCapability::kNonQueryable: {
+      GENALG_ASSIGN_OR_RETURN(auto monitor, SnapshotMonitor::Attach(source));
+      return std::unique_ptr<SourceMonitor>(std::move(monitor));
+    }
+  }
+  return Status::InvalidArgument("unknown capability");
+}
+
+}  // namespace genalg::etl

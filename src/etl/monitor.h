@@ -1,0 +1,135 @@
+#ifndef GENALG_ETL_MONITOR_H_
+#define GENALG_ETL_MONITOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "etl/source.h"
+#include "formats/record.h"
+
+namespace genalg::etl {
+
+/// A detected change in the warehouse's delta representation: "each delta
+/// must be uniquely identifiable and contain (a) information about the
+/// data item to which it belongs and (b) the a priori and a posteriori
+/// data and the time stamp for when the update became effective"
+/// (Sec. 5.2).
+struct Delta {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind;
+  std::string source;      ///< Originating repository.
+  std::string accession;   ///< The data item (a).
+  std::optional<formats::SequenceRecord> before;  ///< A priori (b).
+  std::optional<formats::SequenceRecord> after;   ///< A posteriori (b).
+  uint64_t source_lsn = 0;  ///< The source-time stamp of the change.
+};
+
+/// A change-detection strategy: one concrete class per Figure 2 cell
+/// family. Poll() returns the deltas that occurred since the previous
+/// Poll (or since construction).
+class SourceMonitor {
+ public:
+  virtual ~SourceMonitor() = default;
+
+  /// The monitored source.
+  virtual const SyntheticSource& source() const = 0;
+
+  /// Drains newly detected changes.
+  virtual Result<std::vector<Delta>> Poll() = 0;
+};
+
+/// Figure 2, "active" column: the source pushes trigger notifications;
+/// the monitor merely buffers them.
+class TriggerMonitor : public SourceMonitor {
+ public:
+  /// Fails unless the source is active.
+  static Result<std::unique_ptr<TriggerMonitor>> Attach(
+      SyntheticSource* source);
+
+  const SyntheticSource& source() const override { return *source_; }
+  Result<std::vector<Delta>> Poll() override;
+
+ private:
+  explicit TriggerMonitor(SyntheticSource* source) : source_(source) {}
+
+  SyntheticSource* source_;
+  std::shared_ptr<std::vector<Delta>> buffer_;
+};
+
+/// Figure 2, "logged" column: inspect the source's change log beyond the
+/// last seen LSN.
+class LogMonitor : public SourceMonitor {
+ public:
+  static Result<std::unique_ptr<LogMonitor>> Attach(SyntheticSource* source);
+
+  const SyntheticSource& source() const override { return *source_; }
+  Result<std::vector<Delta>> Poll() override;
+
+ private:
+  explicit LogMonitor(SyntheticSource* source) : source_(source) {}
+
+  SyntheticSource* source_;
+  uint64_t last_lsn_ = 0;
+};
+
+/// Figure 2, "queryable" column: periodic polling — list (accession,
+/// version) pairs, fetch changed entries. Detects inserts, updates (via
+/// version bumps), and deletes.
+class PollingMonitor : public SourceMonitor {
+ public:
+  static Result<std::unique_ptr<PollingMonitor>> Attach(
+      SyntheticSource* source);
+
+  const SyntheticSource& source() const override { return *source_; }
+  Result<std::vector<Delta>> Poll() override;
+
+  /// Entries fetched over all polls (the polling-frequency cost metric).
+  uint64_t entries_fetched() const { return entries_fetched_; }
+
+ private:
+  explicit PollingMonitor(SyntheticSource* source) : source_(source) {}
+
+  SyntheticSource* source_;
+  std::map<std::string, int> seen_versions_;
+  std::map<std::string, formats::SequenceRecord> cache_;
+  uint64_t entries_fetched_ = 0;
+};
+
+/// Figure 2, "non-queryable" column: compare successive full snapshots.
+/// The textual diff algorithm matches the representation — LCS line diff
+/// for flat files, ordered-tree diff for hierarchical data, keyed
+/// snapshot differential for relational rows — and the record-level
+/// deltas are derived from the re-parsed snapshots.
+class SnapshotMonitor : public SourceMonitor {
+ public:
+  static Result<std::unique_ptr<SnapshotMonitor>> Attach(
+      SyntheticSource* source);
+
+  const SyntheticSource& source() const override { return *source_; }
+  Result<std::vector<Delta>> Poll() override;
+
+  /// Size of the textual edit script of the last poll (0 when unchanged)
+  /// — the Figure 2 cost signal for snapshot-based detection.
+  size_t last_edit_script_size() const { return last_edit_script_size_; }
+
+ private:
+  explicit SnapshotMonitor(SyntheticSource* source) : source_(source) {}
+
+  SyntheticSource* source_;
+  std::string last_snapshot_;
+  std::map<std::string, formats::SequenceRecord> last_records_;
+  size_t last_edit_script_size_ = 0;
+};
+
+/// Builds the monitor matching the source's capability class (the row of
+/// Figure 2 the source lives in).
+Result<std::unique_ptr<SourceMonitor>> MakeMonitorFor(
+    SyntheticSource* source);
+
+}  // namespace genalg::etl
+
+#endif  // GENALG_ETL_MONITOR_H_

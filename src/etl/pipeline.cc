@@ -1,0 +1,55 @@
+#include "etl/pipeline.h"
+
+namespace genalg::etl {
+
+Status EtlPipeline::AddSource(SyntheticSource* source) {
+  GENALG_ASSIGN_OR_RETURN(std::unique_ptr<SourceMonitor> monitor,
+                          MakeMonitorFor(source));
+  // Prime snapshot/polling monitors so the initial content does not
+  // re-surface as inserts on the first maintenance round.
+  sources_.push_back(source);
+  monitors_.push_back(std::move(monitor));
+  return Status::OK();
+}
+
+Status EtlPipeline::InitialLoad() {
+  std::vector<formats::SequenceRecord> all;
+  for (SyntheticSource* source : sources_) {
+    for (formats::SequenceRecord& record : source->AllRecords()) {
+      all.push_back(std::move(record));
+    }
+  }
+  GENALG_RETURN_IF_ERROR(warehouse_->LoadBatch(std::move(all)));
+  // Drain monitors so pre-load history is not replayed.
+  for (auto& monitor : monitors_) {
+    GENALG_RETURN_IF_ERROR(monitor->Poll().status());
+  }
+  return Status::OK();
+}
+
+Result<EtlPipeline::RoundStats> EtlPipeline::RunOnce() {
+  RoundStats stats;
+  for (auto& monitor : monitors_) {
+    GENALG_ASSIGN_OR_RETURN(std::vector<Delta> deltas, monitor->Poll());
+    stats.deltas_detected += deltas.size();
+    GENALG_RETURN_IF_ERROR(warehouse_->ApplyDeltas(deltas));
+    stats.deltas_applied += deltas.size();
+  }
+  return stats;
+}
+
+Status EtlPipeline::FullReload() {
+  std::vector<formats::SequenceRecord> all;
+  for (SyntheticSource* source : sources_) {
+    for (formats::SequenceRecord& record : source->AllRecords()) {
+      all.push_back(std::move(record));
+    }
+  }
+  GENALG_RETURN_IF_ERROR(warehouse_->FullReload(std::move(all)));
+  for (auto& monitor : monitors_) {
+    GENALG_RETURN_IF_ERROR(monitor->Poll().status());
+  }
+  return Status::OK();
+}
+
+}  // namespace genalg::etl

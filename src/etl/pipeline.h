@@ -1,0 +1,51 @@
+#ifndef GENALG_ETL_PIPELINE_H_
+#define GENALG_ETL_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/result.h"
+#include "etl/monitor.h"
+#include "etl/source.h"
+#include "etl/warehouse.h"
+
+namespace genalg::etl {
+
+/// The assembled ETL component of Figure 3: source monitors feeding the
+/// warehouse integrator and loader. One pipeline per Unifying Database.
+class EtlPipeline {
+ public:
+  /// The warehouse is borrowed and must outlive the pipeline.
+  explicit EtlPipeline(Warehouse* warehouse) : warehouse_(warehouse) {}
+
+  /// Attaches a source with the monitor matching its capability class.
+  Status AddSource(SyntheticSource* source);
+
+  /// Initial load: full extracts from every source, batch-reconciled
+  /// (including cross-source content matching) and loaded.
+  Status InitialLoad();
+
+  /// One maintenance round: polls every monitor and applies the detected
+  /// deltas incrementally.
+  struct RoundStats {
+    size_t deltas_detected = 0;
+    size_t deltas_applied = 0;
+  };
+  Result<RoundStats> RunOnce();
+
+  /// The expensive alternative to RunOnce: re-extract everything and
+  /// rebuild (Sec. 5.2's "re-executing the integration query").
+  Status FullReload();
+
+  size_t source_count() const { return sources_.size(); }
+  Warehouse* warehouse() { return warehouse_; }
+
+ private:
+  Warehouse* warehouse_;
+  std::vector<SyntheticSource*> sources_;
+  std::vector<std::unique_ptr<SourceMonitor>> monitors_;
+};
+
+}  // namespace genalg::etl
+
+#endif  // GENALG_ETL_PIPELINE_H_

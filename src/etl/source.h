@@ -1,0 +1,119 @@
+#ifndef GENALG_ETL_SOURCE_H_
+#define GENALG_ETL_SOURCE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "formats/record.h"
+
+namespace genalg::etl {
+
+/// The two axes of the paper's Figure 2 source classification.
+enum class SourceRepresentation {
+  kRelational,    ///< Keyed rows (snapshot differential territory).
+  kFlatFile,      ///< GenBank-style text (LCS diff territory).
+  kHierarchical,  ///< ACeDB-style trees (tree diff territory).
+};
+
+enum class SourceCapability {
+  kActive,        ///< Pushes trigger notifications on change.
+  kLogged,        ///< Maintains an inspectable change log.
+  kQueryable,     ///< Answers per-entry queries (polling possible).
+  kNonQueryable,  ///< Only periodic full snapshots.
+};
+
+std::string_view RepresentationToString(SourceRepresentation r);
+std::string_view CapabilityToString(SourceCapability c);
+
+/// A change as the source itself describes it (trigger payloads and log
+/// entries). `lsn` is the source's logical sequence number.
+struct SourceChange {
+  enum class Kind { kInsert, kUpdate, kDelete };
+  Kind kind;
+  uint64_t lsn;
+  std::string accession;
+  std::optional<formats::SequenceRecord> before;
+  std::optional<formats::SequenceRecord> after;
+};
+
+/// A synthetic genomic repository standing in for GenBank/EMBL/SWISS-PROT
+/// (which we cannot ship): it holds records, evolves them under a seeded
+/// random process — including injected noise, since "30-60% of sequences
+/// in GenBank are erroneous" (B10) — and exposes exactly the interface its
+/// capability class allows, so every monitor strategy of Figure 2 has a
+/// real substrate to run against.
+class SyntheticSource {
+ public:
+  SyntheticSource(std::string name, SourceRepresentation representation,
+                  SourceCapability capability, uint64_t seed);
+
+  const std::string& name() const { return name_; }
+  SourceRepresentation representation() const { return representation_; }
+  SourceCapability capability() const { return capability_; }
+  uint64_t lsn() const { return lsn_; }
+  size_t record_count() const { return records_.size(); }
+
+  /// Generates `n` fresh records of roughly `sequence_length` bases.
+  /// `noise_rate` of them carry an injected defect (ambiguous runs or a
+  /// mis-annotated feature) and reduced confidence metadata.
+  Status Populate(size_t n, size_t sequence_length, double noise_rate = 0.2);
+
+  // -------------------------------------------------------- Mutations.
+
+  Status AddRecord(formats::SequenceRecord record);
+  Status UpdateRecord(const formats::SequenceRecord& record);
+  Status DeleteRecord(const std::string& accession);
+
+  /// One synthetic evolution step: each record independently mutates with
+  /// probability `p_update` (point substitutions + version bump), and with
+  /// probability `p_churn` a record is added or deleted.
+  Status EvolveStep(double p_update, double p_churn = 0.0);
+
+  // ----------------------------- Capability-gated access interfaces.
+
+  /// Active sources only: registers a trigger callback fired on every
+  /// subsequent change.
+  Status Subscribe(std::function<void(const SourceChange&)> callback);
+
+  /// Logged sources only: change-log entries with lsn > since.
+  Result<std::vector<SourceChange>> ReadLog(uint64_t since) const;
+
+  /// Queryable sources only.
+  Result<formats::SequenceRecord> Query(const std::string& accession) const;
+  Result<std::vector<std::pair<std::string, int>>> ListVersions() const;
+
+  /// Available to every capability class (non-queryable sources offer
+  /// nothing else): a full dump rendered in the source's representation —
+  /// GenBank text, hierarchical tree text, or key|value rows.
+  Result<std::string> Snapshot() const;
+
+  /// Parses a snapshot produced by a source of the given representation
+  /// back into records (what a wrapper does with a dump).
+  static Result<std::vector<formats::SequenceRecord>> ParseSnapshot(
+      SourceRepresentation representation, const std::string& text);
+
+  /// Direct record access for tests and for the full-reload baseline.
+  std::vector<formats::SequenceRecord> AllRecords() const;
+
+ private:
+  void Emit(SourceChange change);
+
+  std::string name_;
+  SourceRepresentation representation_;
+  SourceCapability capability_;
+  Rng rng_;
+  uint64_t lsn_ = 0;
+  uint64_t next_accession_ = 0;
+  std::map<std::string, formats::SequenceRecord> records_;
+  std::vector<SourceChange> log_;
+  std::vector<std::function<void(const SourceChange&)>> subscribers_;
+};
+
+}  // namespace genalg::etl
+
+#endif  // GENALG_ETL_SOURCE_H_

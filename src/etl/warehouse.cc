@@ -1,0 +1,312 @@
+#include "etl/warehouse.h"
+
+#include "algebra/value.h"
+#include "base/strings.h"
+#include "formats/genalgxml.h"
+#include "gdt/feature.h"
+#include "gdt/ops.h"
+
+namespace genalg::etl {
+
+using formats::SequenceRecord;
+using udb::ColumnType;
+using udb::Datum;
+using udb::Row;
+using udb::Space;
+
+Warehouse::Warehouse(udb::Database* db, Integrator::Options options)
+    : db_(db), integrator_(options), incremental_integrator_([options] {
+        Integrator::Options o = options;
+        o.content_matching = false;
+        return o;
+      }()) {}
+
+Status Warehouse::InitSchema() {
+  GENALG_RETURN_IF_ERROR(db_->CreateTable(
+      "sequences",
+      {{"accession", ColumnType::String()},
+       {"version", ColumnType::Int()},
+       {"organism", ColumnType::String()},
+       {"description", ColumnType::String()},
+       {"sources", ColumnType::String()},
+       {"confidence", ColumnType::Real()},
+       {"seq", ColumnType::Udt("nucseq")}},
+      Space::kPublic, /*privileged=*/true));
+  GENALG_RETURN_IF_ERROR(db_->CreateTable(
+      "features",
+      {{"accession", ColumnType::String()},
+       {"fid", ColumnType::String()},
+       {"kind", ColumnType::String()},
+       {"begin", ColumnType::Int()},
+       {"fin", ColumnType::Int()},
+       {"strand", ColumnType::String()},
+       {"confidence", ColumnType::Real()}},
+      Space::kPublic, /*privileged=*/true));
+  GENALG_RETURN_IF_ERROR(db_->CreateTable(
+      "alternates",
+      {{"accession", ColumnType::String()},
+       {"source_db", ColumnType::String()},
+       {"seq", ColumnType::Udt("nucseq")}},
+      Space::kPublic, /*privileged=*/true));
+  GENALG_RETURN_IF_ERROR(db_->CreateBTreeIndex("sequences", "accession"));
+  GENALG_RETURN_IF_ERROR(db_->CreateBTreeIndex("features", "accession"));
+  return Status::OK();
+}
+
+Status Warehouse::DeleteAccessionRows(const std::string& accession) {
+  for (const char* table : {"sequences", "features", "alternates"}) {
+    auto r = db_->Execute(
+        std::string("DELETE FROM ") + table + " WHERE accession = '" +
+            accession + "'",
+        /*privileged=*/true);
+    GENALG_RETURN_IF_ERROR(r.status());
+  }
+  return Status::OK();
+}
+
+Status Warehouse::WriteEntry(const ReconciledEntry& entry) {
+  const SequenceRecord& r = entry.canonical;
+  GENALG_ASSIGN_OR_RETURN(
+      Datum seq_datum,
+      db_->adapter().ToDatum(algebra::Value::NucSeq(r.sequence)));
+  Row row = {Datum::String(r.accession),
+             Datum::Int(r.version),
+             Datum::String(r.organism),
+             Datum::String(r.description),
+             Datum::String(Join(entry.provenance, ",")),
+             Datum::Real(entry.confidence),
+             std::move(seq_datum)};
+  GENALG_RETURN_IF_ERROR(
+      db_->InsertRow("sequences", std::move(row), /*privileged=*/true));
+  ++rows_written_;
+  for (const gdt::Feature& f : r.features) {
+    Row feature_row = {
+        Datum::String(r.accession),
+        Datum::String(f.id),
+        Datum::String(std::string(gdt::FeatureKindToString(f.kind))),
+        Datum::Int(static_cast<int64_t>(f.span.begin)),
+        Datum::Int(static_cast<int64_t>(f.span.end)),
+        Datum::String(f.strand == gdt::Strand::kReverse   ? "-"
+                      : f.strand == gdt::Strand::kUnknown ? "?"
+                                                          : "+"),
+        Datum::Real(f.confidence)};
+    GENALG_RETURN_IF_ERROR(db_->InsertRow("features", std::move(feature_row),
+                                          /*privileged=*/true));
+    ++rows_written_;
+  }
+  for (const SequenceRecord& alt : entry.alternates) {
+    GENALG_ASSIGN_OR_RETURN(
+        Datum alt_datum,
+        db_->adapter().ToDatum(algebra::Value::NucSeq(alt.sequence)));
+    Row alt_row = {Datum::String(r.accession),
+                   Datum::String(alt.source_db), std::move(alt_datum)};
+    GENALG_RETURN_IF_ERROR(db_->InsertRow("alternates", std::move(alt_row),
+                                          /*privileged=*/true));
+    ++rows_written_;
+  }
+  return Status::OK();
+}
+
+Status Warehouse::LoadBatch(std::vector<SequenceRecord> records) {
+  // Track staging per (accession, source).
+  for (const SequenceRecord& r : records) {
+    staging_[r.accession][r.source_db] = r;
+  }
+  GENALG_ASSIGN_OR_RETURN(std::vector<ReconciledEntry> entries,
+                          integrator_.Reconcile(std::move(records)));
+  for (const ReconciledEntry& entry : entries) {
+    GENALG_RETURN_IF_ERROR(
+        DeleteAccessionRows(entry.canonical.accession));
+    GENALG_RETURN_IF_ERROR(WriteEntry(entry));
+  }
+  return Status::OK();
+}
+
+Status Warehouse::RefreshAccession(const std::string& accession) {
+  GENALG_RETURN_IF_ERROR(DeleteAccessionRows(accession));
+  auto it = staging_.find(accession);
+  if (it == staging_.end() || it->second.empty()) {
+    return Status::OK();  // No source contributes it anymore.
+  }
+  std::vector<SequenceRecord> group;
+  for (const auto& [source, record] : it->second) group.push_back(record);
+  GENALG_ASSIGN_OR_RETURN(std::vector<ReconciledEntry> entries,
+                          incremental_integrator_.Reconcile(std::move(group)));
+  for (const ReconciledEntry& entry : entries) {
+    GENALG_RETURN_IF_ERROR(WriteEntry(entry));
+  }
+  return Status::OK();
+}
+
+Status Warehouse::ApplyDelta(const Delta& delta) {
+  switch (delta.kind) {
+    case Delta::Kind::kInsert:
+    case Delta::Kind::kUpdate:
+      if (!delta.after.has_value()) {
+        return Status::InvalidArgument(
+            "insert/update delta without a posteriori record");
+      }
+      staging_[delta.accession][delta.source] = *delta.after;
+      break;
+    case Delta::Kind::kDelete: {
+      auto it = staging_.find(delta.accession);
+      if (it != staging_.end()) {
+        it->second.erase(delta.source);
+        if (it->second.empty()) staging_.erase(it);
+      }
+      break;
+    }
+  }
+  return RefreshAccession(delta.accession);
+}
+
+Status Warehouse::ApplyDeltas(const std::vector<Delta>& deltas) {
+  for (const Delta& delta : deltas) {
+    GENALG_RETURN_IF_ERROR(ApplyDelta(delta));
+  }
+  return Status::OK();
+}
+
+Status Warehouse::FullReload(std::vector<SequenceRecord> all_records) {
+  // Wipe everything, then load the fresh extract. Derived tables (the
+  // proteins of DeriveProteins) are wiped too when present: they describe
+  // content that no longer exists.
+  for (const char* table : {"sequences", "features", "alternates",
+                            "proteins"}) {
+    auto r = db_->Execute(std::string("DELETE FROM ") + table,
+                          /*privileged=*/true);
+    if (!r.ok() && !r.status().IsNotFound()) return r.status();
+  }
+  staging_.clear();
+  return LoadBatch(std::move(all_records));
+}
+
+Result<int64_t> Warehouse::SequenceCount() {
+  GENALG_ASSIGN_OR_RETURN(udb::QueryResult r,
+                          db_->Execute("SELECT count(*) FROM sequences"));
+  return r.rows[0][0].AsInt();
+}
+
+Result<std::string> Warehouse::ExportGenAlgXml() {
+  GENALG_ASSIGN_OR_RETURN(
+      udb::QueryResult sequences,
+      db_->Execute("SELECT accession, version, organism, description, "
+                   "sources, seq FROM sequences ORDER BY accession"));
+  GENALG_ASSIGN_OR_RETURN(
+      udb::QueryResult features,
+      db_->Execute("SELECT accession, fid, kind, begin, fin, strand, "
+                   "confidence FROM features ORDER BY accession"));
+  std::map<std::string, std::vector<gdt::Feature>> features_by_accession;
+  for (const Row& row : features.rows) {
+    gdt::Feature f;
+    GENALG_ASSIGN_OR_RETURN(std::string accession, row[0].AsString());
+    GENALG_ASSIGN_OR_RETURN(f.id, row[1].AsString());
+    GENALG_ASSIGN_OR_RETURN(std::string kind, row[2].AsString());
+    f.kind = gdt::FeatureKindFromString(kind);
+    GENALG_ASSIGN_OR_RETURN(int64_t begin, row[3].AsInt());
+    GENALG_ASSIGN_OR_RETURN(int64_t end, row[4].AsInt());
+    f.span = {static_cast<uint64_t>(begin), static_cast<uint64_t>(end)};
+    GENALG_ASSIGN_OR_RETURN(std::string strand, row[5].AsString());
+    f.strand = strand == "-"   ? gdt::Strand::kReverse
+               : strand == "?" ? gdt::Strand::kUnknown
+                               : gdt::Strand::kForward;
+    GENALG_ASSIGN_OR_RETURN(f.confidence, row[6].AsReal());
+    features_by_accession[accession].push_back(std::move(f));
+  }
+  std::vector<SequenceRecord> records;
+  records.reserve(sequences.rows.size());
+  for (const Row& row : sequences.rows) {
+    SequenceRecord r;
+    GENALG_ASSIGN_OR_RETURN(r.accession, row[0].AsString());
+    GENALG_ASSIGN_OR_RETURN(int64_t version, row[1].AsInt());
+    r.version = static_cast<int>(version);
+    GENALG_ASSIGN_OR_RETURN(r.organism, row[2].AsString());
+    GENALG_ASSIGN_OR_RETURN(r.description, row[3].AsString());
+    GENALG_ASSIGN_OR_RETURN(r.source_db, row[4].AsString());
+    GENALG_ASSIGN_OR_RETURN(algebra::Value value,
+                            db_->adapter().ToValue(row[5]));
+    GENALG_ASSIGN_OR_RETURN(r.sequence, value.AsNucSeq());
+    auto feature_it = features_by_accession.find(r.accession);
+    if (feature_it != features_by_accession.end()) {
+      r.features = std::move(feature_it->second);
+    }
+    records.push_back(std::move(r));
+  }
+  return formats::WriteGenAlgXml(records);
+}
+
+Status Warehouse::ImportGenAlgXml(const std::string& xml) {
+  GENALG_ASSIGN_OR_RETURN(std::vector<SequenceRecord> records,
+                          formats::ParseGenAlgXml(xml));
+  return LoadBatch(std::move(records));
+}
+
+Result<int64_t> Warehouse::DeriveProteins(int codon_table_id) {
+  // Schema evolution: add the table on first use.
+  Status created = db_->CreateTable(
+      "proteins",
+      {{"accession", ColumnType::String()},
+       {"gene_id", ColumnType::String()},
+       {"length", ColumnType::Int()},
+       {"weight", ColumnType::Real()},
+       {"confidence", ColumnType::Real()},
+       {"pseq", ColumnType::Udt("protseq")}},
+      Space::kPublic, /*privileged=*/true);
+  if (!created.ok() && !created.IsAlreadyExists()) return created;
+  GENALG_RETURN_IF_ERROR(
+      db_->Execute("DELETE FROM proteins", /*privileged=*/true).status());
+
+  // Gene features joined with their sequences, decoded via the algebra.
+  GENALG_ASSIGN_OR_RETURN(
+      udb::QueryResult rows,
+      db_->Execute(
+          "SELECT s.accession, f.fid, f.begin, f.fin, f.strand, "
+          "f.confidence, s.seq FROM sequences s JOIN features f ON "
+          "s.accession = f.accession WHERE f.kind = 'gene'"));
+  int64_t derived = 0;
+  for (const Row& row : rows.rows) {
+    GENALG_ASSIGN_OR_RETURN(std::string accession, row[0].AsString());
+    GENALG_ASSIGN_OR_RETURN(std::string gene_id, row[1].AsString());
+    GENALG_ASSIGN_OR_RETURN(int64_t begin, row[2].AsInt());
+    GENALG_ASSIGN_OR_RETURN(int64_t end, row[3].AsInt());
+    GENALG_ASSIGN_OR_RETURN(std::string strand, row[4].AsString());
+    GENALG_ASSIGN_OR_RETURN(double feature_confidence, row[5].AsReal());
+    GENALG_ASSIGN_OR_RETURN(algebra::Value seq_value,
+                            db_->adapter().ToValue(row[6]));
+    GENALG_ASSIGN_OR_RETURN(seq::NucleotideSequence chromosome,
+                            seq_value.AsNucSeq());
+    if (end <= begin ||
+        static_cast<uint64_t>(end) > chromosome.size()) {
+      continue;  // A noisy annotation (B10): skip, never fabricate.
+    }
+    gdt::Gene gene;
+    gene.id = gene_id;
+    gene.codon_table_id = codon_table_id;
+    gene.confidence = feature_confidence;
+    GENALG_ASSIGN_OR_RETURN(
+        gene.sequence,
+        chromosome.Subsequence(static_cast<size_t>(begin),
+                               static_cast<size_t>(end - begin)));
+    if (strand == "-") {
+      gene.sequence = gene.sequence.ReverseComplement();
+    }
+    auto protein = gdt::Decode(gene);
+    if (!protein.ok()) continue;  // No ORF in the annotated span.
+    GENALG_ASSIGN_OR_RETURN(
+        udb::Datum pseq,
+        db_->adapter().ToDatum(
+            algebra::Value::ProtSeq(protein->sequence)));
+    Row out = {Datum::String(accession),
+               Datum::String(gene_id),
+               Datum::Int(static_cast<int64_t>(protein->sequence.size())),
+               Datum::Real(protein->sequence.MolecularWeightDaltons()),
+               Datum::Real(protein->confidence),
+               std::move(pseq)};
+    GENALG_RETURN_IF_ERROR(
+        db_->InsertRow("proteins", std::move(out), /*privileged=*/true));
+    ++derived;
+  }
+  return derived;
+}
+
+}  // namespace genalg::etl

@@ -1,0 +1,214 @@
+#include "formats/embl.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/strings.h"
+#include "formats/feature_text.h"
+#include "gdt/feature.h"
+
+namespace genalg::formats {
+
+namespace {
+
+void FlushFeature(SequenceRecord* record, gdt::Feature* feature,
+                  bool* has_feature) {
+  if (!*has_feature) return;
+  if (feature->id.empty()) {
+    feature->id = record->accession + ".f" +
+                  std::to_string(record->features.size());
+  }
+  record->features.push_back(std::move(*feature));
+  *feature = gdt::Feature{};
+  *has_feature = false;
+}
+
+}  // namespace
+
+Result<std::vector<SequenceRecord>> ParseEmbl(std::string_view text) {
+  std::vector<SequenceRecord> records;
+  SequenceRecord record;
+  bool in_record = false;
+  bool in_sequence = false;
+  bool has_feature = false;
+  uint64_t declared_length = 0;
+  gdt::Feature feature;
+  size_t line_no = 0;
+
+  auto finish_record = [&]() -> Status {
+    FlushFeature(&record, &feature, &has_feature);
+    if (record.sequence.size() != declared_length) {
+      return Status::Corruption(
+          "entry " + record.accession + " declares " +
+          std::to_string(declared_length) + " BP but carries " +
+          std::to_string(record.sequence.size()));
+    }
+    records.push_back(std::move(record));
+    record = SequenceRecord{};
+    in_record = in_sequence = false;
+    declared_length = 0;
+    return Status::OK();
+  };
+
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(raw);
+    if (stripped.empty()) continue;
+
+    if (stripped == "//") {
+      if (!in_record) {
+        return Status::Corruption("terminator without record at line " +
+                                  std::to_string(line_no));
+      }
+      GENALG_RETURN_IF_ERROR(finish_record());
+      continue;
+    }
+
+    if (StartsWith(raw, "ID   ")) {
+      if (in_record) {
+        return Status::Corruption("ID inside open record at line " +
+                                  std::to_string(line_no));
+      }
+      in_record = true;
+      // ID   SYN000042; SV 2; linear; DNA; SYNDB; 1234 BP.
+      auto parts = Split(std::string(stripped.substr(5)), ';');
+      if (parts.empty()) {
+        return Status::Corruption("malformed ID line " +
+                                  std::to_string(line_no));
+      }
+      record.accession = std::string(StripWhitespace(parts[0]));
+      for (const std::string& part : parts) {
+        auto fields = SplitWhitespace(part);
+        if (fields.size() == 2 && fields[0] == "SV") {
+          record.version = std::atoi(fields[1].c_str());
+        }
+        if (fields.size() == 2 && fields[1] == "BP.") {
+          declared_length = std::strtoull(fields[0].c_str(), nullptr, 10);
+        }
+        if (fields.size() == 1 && fields[0] != "linear" &&
+            fields[0] != "DNA" && fields[0] != record.accession) {
+          record.source_db = fields[0];
+        }
+      }
+      continue;
+    }
+    if (!in_record) {
+      return Status::Corruption("content outside record at line " +
+                                std::to_string(line_no));
+    }
+
+    if (in_sequence) {
+      for (char c : stripped) {
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == ' ') {
+          continue;
+        }
+        Status s = record.sequence.AppendChar(c);
+        if (!s.ok()) {
+          return Status::Corruption("line " + std::to_string(line_no) +
+                                    ": " + s.message());
+        }
+      }
+      continue;
+    }
+
+    if (StartsWith(raw, "AC   ")) continue;  // Redundant with ID.
+    if (StartsWith(raw, "DE   ")) {
+      if (!record.description.empty()) record.description += ' ';
+      record.description += std::string(StripWhitespace(stripped.substr(2)));
+      continue;
+    }
+    if (StartsWith(raw, "OS   ")) {
+      record.organism = std::string(StripWhitespace(stripped.substr(2)));
+      continue;
+    }
+    if (StartsWith(raw, "XX")) continue;  // Spacer lines.
+    if (StartsWith(raw, "SQ   ")) {
+      FlushFeature(&record, &feature, &has_feature);
+      in_sequence = true;
+      continue;
+    }
+    if (StartsWith(raw, "FT   ")) {
+      std::string_view body = StripWhitespace(std::string_view(raw).substr(5));
+      if (StartsWith(body, "/")) {
+        if (!has_feature) {
+          return Status::Corruption("qualifier before feature at line " +
+                                    std::to_string(line_no));
+        }
+        GENALG_ASSIGN_OR_RETURN(auto kv, ParseQualifierBody(body.substr(1)));
+        GENALG_RETURN_IF_ERROR(ApplyQualifier(&feature, kv.first, kv.second));
+        continue;
+      }
+      auto fields = SplitWhitespace(body);
+      if (fields.size() != 2) {
+        return Status::Corruption("malformed FT line " +
+                                  std::to_string(line_no));
+      }
+      FlushFeature(&record, &feature, &has_feature);
+      feature = gdt::Feature{};
+      feature.kind = gdt::FeatureKindFromString(fields[0]);
+      if (feature.kind == gdt::FeatureKind::kOther) {
+        feature.qualifiers["key"] = fields[0];
+      }
+      GENALG_ASSIGN_OR_RETURN(auto loc, ParseLocation(fields[1]));
+      feature.span = loc.first;
+      feature.strand = loc.second;
+      has_feature = true;
+      continue;
+    }
+    // Unknown two-letter codes become attributes.
+    if (raw.size() > 5) {
+      record.attributes[std::string(raw.substr(0, 2))] =
+          std::string(StripWhitespace(raw.substr(2)));
+    }
+  }
+  if (in_record) {
+    return Status::Corruption("unterminated record (missing //)");
+  }
+  return records;
+}
+
+std::string WriteEmbl(const std::vector<SequenceRecord>& records) {
+  std::string out;
+  for (const SequenceRecord& r : records) {
+    out += "ID   " + r.accession + "; SV " + std::to_string(r.version) +
+           "; linear; DNA; " + (r.source_db.empty() ? "SYNDB" : r.source_db) +
+           "; " + std::to_string(r.sequence.size()) + " BP.\n";
+    out += "AC   " + r.accession + ";\n";
+    if (!r.description.empty()) out += "DE   " + r.description + "\n";
+    if (!r.organism.empty()) out += "OS   " + r.organism + "\n";
+    for (const auto& [key, value] : r.attributes) {
+      if (key.size() == 2) out += key + "   " + value + "\n";
+    }
+    for (const gdt::Feature& f : r.features) {
+      std::string key(gdt::FeatureKindToString(f.kind));
+      auto key_it = f.qualifiers.find("key");
+      if (f.kind == gdt::FeatureKind::kOther &&
+          key_it != f.qualifiers.end()) {
+        key = key_it->second;
+      }
+      out += "FT   " + key;
+      out += std::string(key.size() < 16 ? 16 - key.size() : 1, ' ');
+      out += FormatLocation(f) + "\n";
+      for (const auto& [qk, qv] : QualifiersToWrite(f)) {
+        if (qk == "key") continue;
+        out += "FT                   /" + qk + "=\"" + qv + "\"\n";
+      }
+    }
+    out += "SQ   Sequence " + std::to_string(r.sequence.size()) + " BP;\n";
+    std::string seq = ToLowerAscii(r.sequence.ToString());
+    for (size_t pos = 0; pos < seq.size(); pos += 60) {
+      out += "     ";
+      for (size_t block = 0; block < 60 && pos + block < seq.size();
+           block += 10) {
+        out += seq.substr(pos + block, 10);
+        out += ' ';
+      }
+      out += std::to_string(std::min(pos + 60, seq.size()));
+      out += '\n';
+    }
+    out += "//\n";
+  }
+  return out;
+}
+
+}  // namespace genalg::formats

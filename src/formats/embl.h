@@ -1,0 +1,34 @@
+#ifndef GENALG_FORMATS_EMBL_H_
+#define GENALG_FORMATS_EMBL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "formats/record.h"
+
+namespace genalg::formats {
+
+/// Parses an EMBL-style flat file — the second major repository dialect
+/// (two-letter line codes). Supported structure per entry:
+///
+///   ID   <accession>; SV <version>; linear; DNA; <db>; <length> BP.
+///   AC   <accession>;
+///   DE   <description>
+///   OS   <organism>
+///   FT   <key>            <location>
+///   FT                    /<qualifier>=<value>
+///   SQ   Sequence <length> BP;
+///        acgtacgtac gtacgtacgt ...        60
+///   //
+///
+/// The declared BP length is validated against the carried sequence.
+Result<std::vector<SequenceRecord>> ParseEmbl(std::string_view text);
+
+/// Renders records into the same EMBL-style dialect.
+std::string WriteEmbl(const std::vector<SequenceRecord>& records);
+
+}  // namespace genalg::formats
+
+#endif  // GENALG_FORMATS_EMBL_H_

@@ -1,0 +1,68 @@
+#include "formats/fasta.h"
+
+#include "base/strings.h"
+
+namespace genalg::formats {
+
+Result<std::vector<SequenceRecord>> ParseFasta(std::string_view text) {
+  std::vector<SequenceRecord> records;
+  SequenceRecord* current = nullptr;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      records.emplace_back();
+      current = &records.back();
+      std::string_view header = StripWhitespace(line.substr(1));
+      size_t space = header.find_first_of(" \t");
+      if (space == std::string_view::npos) {
+        current->accession = std::string(header);
+      } else {
+        current->accession = std::string(header.substr(0, space));
+        current->description =
+            std::string(StripWhitespace(header.substr(space + 1)));
+      }
+      if (current->accession.empty()) {
+        return Status::Corruption("empty FASTA header at line " +
+                                  std::to_string(line_no));
+      }
+      continue;
+    }
+    if (current == nullptr) {
+      return Status::Corruption("sequence data before first FASTA header");
+    }
+    for (char c : line) {
+      Status s = current->sequence.AppendChar(c);
+      if (!s.ok()) {
+        return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                  s.message());
+      }
+    }
+  }
+  return records;
+}
+
+std::string WriteFasta(const std::vector<SequenceRecord>& records,
+                       size_t width) {
+  std::string out;
+  for (const SequenceRecord& r : records) {
+    out += '>';
+    out += r.accession;
+    if (!r.description.empty()) {
+      out += ' ';
+      out += r.description;
+    }
+    out += '\n';
+    std::string seq = r.sequence.ToString();
+    for (size_t pos = 0; pos < seq.size(); pos += width) {
+      out += seq.substr(pos, width);
+      out += '\n';
+    }
+    if (seq.empty()) out += '\n';
+  }
+  return out;
+}
+
+}  // namespace genalg::formats

@@ -1,0 +1,25 @@
+#ifndef GENALG_FORMATS_FASTA_H_
+#define GENALG_FORMATS_FASTA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "formats/record.h"
+
+namespace genalg::formats {
+
+/// Parses FASTA text into records. The accession is the first word of the
+/// '>' header, the remainder becomes the description; sequence lines are
+/// concatenated with whitespace ignored. Corruption on text before the
+/// first header or invalid residues.
+Result<std::vector<SequenceRecord>> ParseFasta(std::string_view text);
+
+/// Renders records as FASTA with lines wrapped at `width` bases.
+std::string WriteFasta(const std::vector<SequenceRecord>& records,
+                       size_t width = 70);
+
+}  // namespace genalg::formats
+
+#endif  // GENALG_FORMATS_FASTA_H_

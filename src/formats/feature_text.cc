@@ -1,0 +1,102 @@
+#include "formats/feature_text.h"
+
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace genalg::formats {
+
+Result<std::pair<gdt::Interval, gdt::Strand>> ParseLocation(
+    std::string_view text) {
+  text = StripWhitespace(text);
+  gdt::Strand strand = gdt::Strand::kForward;
+  if (StartsWith(text, "complement(") && EndsWith(text, ")")) {
+    strand = gdt::Strand::kReverse;
+    text = text.substr(11, text.size() - 12);
+  }
+  size_t dots = text.find("..");
+  if (dots == std::string_view::npos) {
+    return Status::Corruption("malformed location '" + std::string(text) +
+                              "'");
+  }
+  std::string begin_s(StripWhitespace(text.substr(0, dots)));
+  std::string end_s(StripWhitespace(text.substr(dots + 2)));
+  char* endptr = nullptr;
+  long long begin = std::strtoll(begin_s.c_str(), &endptr, 10);
+  if (endptr == begin_s.c_str() || *endptr != '\0' || begin < 1) {
+    return Status::Corruption("bad location start '" + begin_s + "'");
+  }
+  long long end = std::strtoll(end_s.c_str(), &endptr, 10);
+  if (endptr == end_s.c_str() || *endptr != '\0' || end < begin) {
+    return Status::Corruption("bad location end '" + end_s + "'");
+  }
+  // 1-based inclusive -> 0-based half-open.
+  return std::make_pair(
+      gdt::Interval{static_cast<uint64_t>(begin - 1),
+                    static_cast<uint64_t>(end)},
+      strand);
+}
+
+std::string FormatLocation(const gdt::Feature& feature) {
+  std::string span = std::to_string(feature.span.begin + 1) + ".." +
+                     std::to_string(feature.span.end);
+  if (feature.strand == gdt::Strand::kReverse) {
+    return "complement(" + span + ")";
+  }
+  return span;
+}
+
+Status ApplyQualifier(gdt::Feature* feature, std::string_view key,
+                      std::string_view value) {
+  if (key == "id") {
+    feature->id = std::string(value);
+    return Status::OK();
+  }
+  if (key == "confidence") {
+    char* endptr = nullptr;
+    std::string v(value);
+    double c = std::strtod(v.c_str(), &endptr);
+    if (endptr == v.c_str() || *endptr != '\0' || c < 0.0 || c > 1.0) {
+      return Status::Corruption("bad confidence qualifier '" + v + "'");
+    }
+    feature->confidence = c;
+    return Status::OK();
+  }
+  feature->qualifiers[std::string(key)] = std::string(value);
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>> QualifiersToWrite(
+    const gdt::Feature& feature) {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (!feature.id.empty()) out.emplace_back("id", feature.id);
+  if (feature.confidence != 1.0) {
+    out.emplace_back("confidence", std::to_string(feature.confidence));
+  }
+  for (const auto& [key, value] : feature.qualifiers) {
+    out.emplace_back(key, value);
+  }
+  return out;
+}
+
+Result<std::pair<std::string, std::string>> ParseQualifierBody(
+    std::string_view body) {
+  size_t eq = body.find('=');
+  if (eq == std::string_view::npos) {
+    // Flag-style qualifier: /pseudo.
+    return std::make_pair(std::string(StripWhitespace(body)),
+                          std::string());
+  }
+  std::string key(StripWhitespace(body.substr(0, eq)));
+  std::string_view value = StripWhitespace(body.substr(eq + 1));
+  if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+    value = value.substr(1, value.size() - 2);
+  }
+  if (key.empty()) {
+    return Status::Corruption("qualifier with empty key: '" +
+                              std::string(body) + "'");
+  }
+  return std::make_pair(key, std::string(value));
+}
+
+}  // namespace genalg::formats

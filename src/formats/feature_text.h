@@ -1,0 +1,43 @@
+#ifndef GENALG_FORMATS_FEATURE_TEXT_H_
+#define GENALG_FORMATS_FEATURE_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "gdt/feature.h"
+
+namespace genalg::formats {
+
+/// Shared feature-table text handling for the GenBank- and EMBL-style
+/// flat-file wrappers.
+
+/// Parses a feature location: "a..b" (1-based, inclusive) or
+/// "complement(a..b)". Returns the half-open 0-based interval plus strand.
+Result<std::pair<gdt::Interval, gdt::Strand>> ParseLocation(
+    std::string_view text);
+
+/// Renders a feature's span/strand back into location syntax.
+std::string FormatLocation(const gdt::Feature& feature);
+
+/// Applies one qualifier to a feature: the reserved keys "id" and
+/// "confidence" populate the structured fields; everything else lands in
+/// `qualifiers`. Corruption for an unparsable confidence.
+Status ApplyQualifier(gdt::Feature* feature, std::string_view key,
+                      std::string_view value);
+
+/// The inverse of ApplyQualifier: the (key, value) lines to emit for a
+/// feature, reserved keys first.
+std::vector<std::pair<std::string, std::string>> QualifiersToWrite(
+    const gdt::Feature& feature);
+
+/// Parses a "/key=value" or "/key="value"" qualifier line body (without
+/// the leading slash already stripped by the caller).
+Result<std::pair<std::string, std::string>> ParseQualifierBody(
+    std::string_view body);
+
+}  // namespace genalg::formats
+
+#endif  // GENALG_FORMATS_FEATURE_TEXT_H_

@@ -1,0 +1,331 @@
+#include "formats/genalgxml.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "base/strings.h"
+#include "gdt/feature.h"
+
+namespace genalg::formats {
+
+namespace {
+
+// ------------------------- A minimal strict XML-subset reader/writer. ---
+
+struct XmlElement {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<XmlElement> children;
+  std::string text;  // Concatenated character data.
+
+  const XmlElement* Child(std::string_view child_name) const {
+    for (const XmlElement& c : children) {
+      if (c.name == child_name) return &c;
+    }
+    return nullptr;
+  }
+};
+
+std::string EscapeXml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  Result<XmlElement> ParseDocument() {
+    SkipWhitespaceAndProlog();
+    GENALG_ASSIGN_OR_RETURN(XmlElement root, ParseElement());
+    SkipWhitespaceOnly();
+    if (pos_ != text_.size()) {
+      return Status::Corruption("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  void SkipWhitespaceOnly() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void SkipWhitespaceAndProlog() {
+    SkipWhitespaceOnly();
+    while (pos_ + 1 < text_.size() && text_[pos_] == '<' &&
+           (text_[pos_ + 1] == '?' || text_[pos_ + 1] == '!')) {
+      size_t close = text_.find('>', pos_);
+      if (close == std::string_view::npos) {
+        pos_ = text_.size();
+        return;
+      }
+      pos_ = close + 1;
+      SkipWhitespaceOnly();
+    }
+  }
+
+  Result<std::string> Unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out.push_back(s[i]);
+        continue;
+      }
+      size_t semi = s.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::Corruption("unterminated entity");
+      }
+      std::string_view ent = s.substr(i + 1, semi - i - 1);
+      if (ent == "amp") out.push_back('&');
+      else if (ent == "lt") out.push_back('<');
+      else if (ent == "gt") out.push_back('>');
+      else if (ent == "quot") out.push_back('"');
+      else if (ent == "apos") out.push_back('\'');
+      else return Status::Corruption("unknown entity &" + std::string(ent) + ";");
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<XmlElement> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::Corruption("expected '<' at offset " +
+                                std::to_string(pos_));
+    }
+    ++pos_;
+    XmlElement elem;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      elem.name.push_back(text_[pos_++]);
+    }
+    if (elem.name.empty()) {
+      return Status::Corruption("element with empty name");
+    }
+    // Attributes.
+    while (true) {
+      SkipWhitespaceOnly();
+      if (pos_ >= text_.size()) {
+        return Status::Corruption("unterminated start tag <" + elem.name);
+      }
+      if (text_[pos_] == '/') {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>') {
+          return Status::Corruption("malformed self-closing tag");
+        }
+        pos_ += 2;
+        return elem;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      std::string key;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '-')) {
+        key.push_back(text_[pos_++]);
+      }
+      if (key.empty() || pos_ >= text_.size() || text_[pos_] != '=') {
+        return Status::Corruption("malformed attribute in <" + elem.name +
+                                  ">");
+      }
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Status::Corruption("attribute value must be quoted");
+      }
+      ++pos_;
+      size_t end = text_.find('"', pos_);
+      if (end == std::string_view::npos) {
+        return Status::Corruption("unterminated attribute value");
+      }
+      GENALG_ASSIGN_OR_RETURN(std::string value,
+                              Unescape(text_.substr(pos_, end - pos_)));
+      elem.attributes[key] = std::move(value);
+      pos_ = end + 1;
+    }
+    // Content.
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Status::Corruption("unterminated element <" + elem.name + ">");
+      }
+      if (text_[pos_] == '<') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+          size_t end = text_.find('>', pos_);
+          if (end == std::string_view::npos) {
+            return Status::Corruption("unterminated end tag");
+          }
+          std::string closing(
+              StripWhitespace(text_.substr(pos_ + 2, end - pos_ - 2)));
+          if (closing != elem.name) {
+            return Status::Corruption("mismatched tags: <" + elem.name +
+                                      "> closed by </" + closing + ">");
+          }
+          pos_ = end + 1;
+          return elem;
+        }
+        GENALG_ASSIGN_OR_RETURN(XmlElement child, ParseElement());
+        elem.children.push_back(std::move(child));
+      } else {
+        size_t next = text_.find('<', pos_);
+        if (next == std::string_view::npos) {
+          return Status::Corruption("unterminated element <" + elem.name +
+                                    ">");
+        }
+        GENALG_ASSIGN_OR_RETURN(std::string chunk,
+                                Unescape(text_.substr(pos_, next - pos_)));
+        elem.text += chunk;
+        pos_ = next;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<SequenceRecord> ElementToRecord(const XmlElement& elem) {
+  SequenceRecord record;
+  auto acc = elem.attributes.find("accession");
+  if (acc == elem.attributes.end()) {
+    return Status::Corruption("<sequence> missing accession attribute");
+  }
+  record.accession = acc->second;
+  auto version = elem.attributes.find("version");
+  if (version != elem.attributes.end()) {
+    record.version = std::atoi(version->second.c_str());
+  }
+  for (const XmlElement& child : elem.children) {
+    if (child.name == "description") {
+      record.description = std::string(StripWhitespace(child.text));
+    } else if (child.name == "organism") {
+      record.organism = std::string(StripWhitespace(child.text));
+    } else if (child.name == "sourcedb") {
+      record.source_db = std::string(StripWhitespace(child.text));
+    } else if (child.name == "attribute") {
+      auto key = child.attributes.find("key");
+      if (key == child.attributes.end()) {
+        return Status::Corruption("<attribute> missing key");
+      }
+      record.attributes[key->second] =
+          std::string(StripWhitespace(child.text));
+    } else if (child.name == "dna") {
+      GENALG_ASSIGN_OR_RETURN(
+          record.sequence,
+          seq::NucleotideSequence::Dna(StripWhitespace(child.text)));
+    } else if (child.name == "feature") {
+      gdt::Feature f;
+      auto get = [&](const char* key) -> std::string {
+        auto it = child.attributes.find(key);
+        return it == child.attributes.end() ? "" : it->second;
+      };
+      f.id = get("id");
+      f.kind = gdt::FeatureKindFromString(get("kind"));
+      f.span.begin = std::strtoull(get("begin").c_str(), nullptr, 10);
+      f.span.end = std::strtoull(get("end").c_str(), nullptr, 10);
+      std::string strand = get("strand");
+      f.strand = strand == "-"   ? gdt::Strand::kReverse
+                 : strand == "?" ? gdt::Strand::kUnknown
+                                 : gdt::Strand::kForward;
+      std::string conf = get("confidence");
+      if (!conf.empty()) f.confidence = std::atof(conf.c_str());
+      for (const XmlElement& q : child.children) {
+        if (q.name != "qualifier") continue;
+        auto key = q.attributes.find("key");
+        if (key == q.attributes.end()) {
+          return Status::Corruption("<qualifier> missing key");
+        }
+        f.qualifiers[key->second] = std::string(StripWhitespace(q.text));
+      }
+      record.features.push_back(std::move(f));
+    }
+  }
+  return record;
+}
+
+}  // namespace
+
+Result<std::vector<SequenceRecord>> ParseGenAlgXml(std::string_view text) {
+  XmlParser parser(text);
+  GENALG_ASSIGN_OR_RETURN(XmlElement root, parser.ParseDocument());
+  if (root.name != "genalg") {
+    return Status::Corruption("root element must be <genalg>, got <" +
+                              root.name + ">");
+  }
+  std::vector<SequenceRecord> records;
+  for (const XmlElement& child : root.children) {
+    if (child.name != "sequence") {
+      return Status::Corruption("unexpected element <" + child.name +
+                                "> under <genalg>");
+    }
+    GENALG_ASSIGN_OR_RETURN(SequenceRecord record, ElementToRecord(child));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string WriteGenAlgXml(const std::vector<SequenceRecord>& records) {
+  std::string out = "<?xml version=\"1.0\"?>\n<genalg>\n";
+  for (const SequenceRecord& r : records) {
+    out += "  <sequence accession=\"" + EscapeXml(r.accession) +
+           "\" version=\"" + std::to_string(r.version) + "\">\n";
+    if (!r.description.empty()) {
+      out += "    <description>" + EscapeXml(r.description) +
+             "</description>\n";
+    }
+    if (!r.organism.empty()) {
+      out += "    <organism>" + EscapeXml(r.organism) + "</organism>\n";
+    }
+    if (!r.source_db.empty()) {
+      out += "    <sourcedb>" + EscapeXml(r.source_db) + "</sourcedb>\n";
+    }
+    for (const auto& [key, value] : r.attributes) {
+      out += "    <attribute key=\"" + EscapeXml(key) + "\">" +
+             EscapeXml(value) + "</attribute>\n";
+    }
+    out += "    <dna>" + r.sequence.ToString() + "</dna>\n";
+    for (const gdt::Feature& f : r.features) {
+      out += "    <feature id=\"" + EscapeXml(f.id) + "\" kind=\"" +
+             std::string(gdt::FeatureKindToString(f.kind)) + "\" begin=\"" +
+             std::to_string(f.span.begin) + "\" end=\"" +
+             std::to_string(f.span.end) + "\" strand=\"" +
+             (f.strand == gdt::Strand::kReverse
+                  ? "-"
+                  : f.strand == gdt::Strand::kUnknown ? "?" : "+") +
+             "\"";
+      if (f.confidence != 1.0) {
+        out += " confidence=\"" + std::to_string(f.confidence) + "\"";
+      }
+      if (f.qualifiers.empty()) {
+        out += "/>\n";
+      } else {
+        out += ">\n";
+        for (const auto& [key, value] : f.qualifiers) {
+          out += "      <qualifier key=\"" + EscapeXml(key) + "\">" +
+                 EscapeXml(value) + "</qualifier>\n";
+        }
+        out += "    </feature>\n";
+      }
+    }
+    out += "  </sequence>\n";
+  }
+  out += "</genalg>\n";
+  return out;
+}
+
+}  // namespace genalg::formats

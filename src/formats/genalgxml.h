@@ -1,0 +1,38 @@
+#ifndef GENALG_FORMATS_GENALGXML_H_
+#define GENALG_FORMATS_GENALGXML_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "formats/record.h"
+
+namespace genalg::formats {
+
+/// GenAlgXML — the paper's proposed XML application (Sec. 6.4) as the
+/// standardized input/output facility for genomic data. A document looks
+/// like:
+///
+///   <genalg>
+///     <sequence accession="SYN000042" version="2">
+///       <description>synthetic entry</description>
+///       <organism>Synthetica exempli</organism>
+///       <dna>ACGTACGT</dna>
+///       <feature id="G1" kind="gene" begin="4" end="22" strand="+"
+///                confidence="0.9">
+///         <qualifier key="name">testA</qualifier>
+///       </feature>
+///     </sequence>
+///   </genalg>
+///
+/// The reader is a minimal strict XML subset parser (elements, attributes,
+/// text, the five predefined entities); it rejects mismatched tags.
+Result<std::vector<SequenceRecord>> ParseGenAlgXml(std::string_view text);
+
+/// Renders records as a GenAlgXML document.
+std::string WriteGenAlgXml(const std::vector<SequenceRecord>& records);
+
+}  // namespace genalg::formats
+
+#endif  // GENALG_FORMATS_GENALGXML_H_

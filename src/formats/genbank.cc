@@ -1,0 +1,251 @@
+#include "formats/genbank.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/strings.h"
+#include "formats/feature_text.h"
+#include "gdt/feature.h"
+
+namespace genalg::formats {
+
+namespace {
+
+// Finishes the feature currently under construction, if any.
+void FlushFeature(SequenceRecord* record, gdt::Feature* feature,
+                  bool* has_feature) {
+  if (!*has_feature) return;
+  if (feature->id.empty()) {
+    feature->id = record->accession + ".f" +
+                  std::to_string(record->features.size());
+  }
+  record->features.push_back(std::move(*feature));
+  *feature = gdt::Feature{};
+  *has_feature = false;
+}
+
+}  // namespace
+
+Result<std::vector<SequenceRecord>> ParseGenBank(std::string_view text) {
+  std::vector<SequenceRecord> records;
+  SequenceRecord record;
+  bool in_record = false;
+  bool in_features = false;
+  bool in_origin = false;
+  bool has_feature = false;
+  uint64_t declared_length = 0;
+  gdt::Feature feature;
+  size_t line_no = 0;
+
+  auto finish_record = [&]() -> Status {
+    FlushFeature(&record, &feature, &has_feature);
+    if (record.sequence.size() != declared_length) {
+      return Status::Corruption(
+          "entry " + record.accession + " declares " +
+          std::to_string(declared_length) + " bp but carries " +
+          std::to_string(record.sequence.size()));
+    }
+    records.push_back(std::move(record));
+    record = SequenceRecord{};
+    in_record = in_features = in_origin = false;
+    declared_length = 0;
+    return Status::OK();
+  };
+
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = raw;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+
+    if (stripped == "//") {
+      if (!in_record) {
+        return Status::Corruption("record terminator without record at line " +
+                                  std::to_string(line_no));
+      }
+      GENALG_RETURN_IF_ERROR(finish_record());
+      continue;
+    }
+
+    if (StartsWith(line, "LOCUS")) {
+      if (in_record) {
+        return Status::Corruption("LOCUS inside open record at line " +
+                                  std::to_string(line_no));
+      }
+      in_record = true;
+      auto fields = SplitWhitespace(stripped);
+      if (fields.size() < 4 || fields[3] != "bp") {
+        return Status::Corruption("malformed LOCUS line " +
+                                  std::to_string(line_no));
+      }
+      record.accession = fields[1];
+      declared_length = std::strtoull(fields[2].c_str(), nullptr, 10);
+      record.source_db = fields.size() > 5 ? fields[5] : "";
+      continue;
+    }
+    if (!in_record) {
+      return Status::Corruption("content outside record at line " +
+                                std::to_string(line_no));
+    }
+
+    if (in_origin) {
+      // "   1 acgtacgtac gtacgtacgt" — digits and spaces are layout.
+      for (char c : stripped) {
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == ' ') {
+          continue;
+        }
+        Status s = record.sequence.AppendChar(c);
+        if (!s.ok()) {
+          return Status::Corruption("line " + std::to_string(line_no) +
+                                    ": " + s.message());
+        }
+      }
+      continue;
+    }
+
+    if (StartsWith(line, "DEFINITION")) {
+      record.description = std::string(
+          StripWhitespace(stripped.substr(std::string("DEFINITION").size())));
+      continue;
+    }
+    if (StartsWith(line, "ACCESSION")) {
+      // LOCUS already set it; ACCESSION confirms.
+      continue;
+    }
+    if (StartsWith(line, "VERSION")) {
+      auto fields = SplitWhitespace(stripped);
+      if (fields.size() >= 2) {
+        size_t dot = fields[1].rfind('.');
+        if (dot != std::string::npos) {
+          record.version = std::atoi(fields[1].c_str() + dot + 1);
+        }
+      }
+      continue;
+    }
+    if (StartsWith(line, "SOURCE")) {
+      record.organism = std::string(
+          StripWhitespace(stripped.substr(std::string("SOURCE").size())));
+      continue;
+    }
+    if (StartsWith(line, "  ORGANISM")) {
+      record.organism = std::string(
+          StripWhitespace(stripped.substr(std::string("ORGANISM").size())));
+      continue;
+    }
+    if (StartsWith(line, "FEATURES")) {
+      in_features = true;
+      continue;
+    }
+    if (StartsWith(line, "ORIGIN")) {
+      FlushFeature(&record, &feature, &has_feature);
+      in_features = false;
+      in_origin = true;
+      continue;
+    }
+
+    if (in_features) {
+      if (StartsWith(stripped, "/")) {
+        if (!has_feature) {
+          return Status::Corruption("qualifier before feature at line " +
+                                    std::to_string(line_no));
+        }
+        GENALG_ASSIGN_OR_RETURN(auto kv,
+                                ParseQualifierBody(stripped.substr(1)));
+        GENALG_RETURN_IF_ERROR(
+            ApplyQualifier(&feature, kv.first, kv.second));
+        continue;
+      }
+      // A new feature: "gene            5..22".
+      auto fields = SplitWhitespace(stripped);
+      if (fields.size() != 2) {
+        return Status::Corruption("malformed feature line " +
+                                  std::to_string(line_no) + ": '" +
+                                  std::string(stripped) + "'");
+      }
+      FlushFeature(&record, &feature, &has_feature);
+      feature = gdt::Feature{};
+      feature.kind = gdt::FeatureKindFromString(fields[0]);
+      if (feature.kind == gdt::FeatureKind::kOther) {
+        feature.qualifiers["key"] = fields[0];
+      }
+      GENALG_ASSIGN_OR_RETURN(auto loc, ParseLocation(fields[1]));
+      feature.span = loc.first;
+      feature.strand = loc.second;
+      has_feature = true;
+      continue;
+    }
+
+    // Continuation lines (wrapped DEFINITION etc.) append to description.
+    if (std::isspace(static_cast<unsigned char>(line[0]))) {
+      if (!record.description.empty()) record.description += ' ';
+      record.description += std::string(stripped);
+      continue;
+    }
+    // Unknown top-level keyword: keep as attribute.
+    auto fields = SplitWhitespace(stripped);
+    if (!fields.empty()) {
+      std::string key = fields[0];
+      std::string value(StripWhitespace(stripped.substr(key.size())));
+      record.attributes[key] = value;
+    }
+  }
+  if (in_record) {
+    return Status::Corruption("unterminated record (missing //)");
+  }
+  return records;
+}
+
+std::string WriteGenBank(const std::vector<SequenceRecord>& records) {
+  std::string out;
+  for (const SequenceRecord& r : records) {
+    out += "LOCUS       " + r.accession + " " +
+           std::to_string(r.sequence.size()) + " bp DNA " +
+           (r.source_db.empty() ? "SYN" : r.source_db) + "\n";
+    if (!r.description.empty()) {
+      out += "DEFINITION  " + r.description + "\n";
+    }
+    out += "ACCESSION   " + r.accession + "\n";
+    out += "VERSION     " + r.accession + "." + std::to_string(r.version) +
+           "\n";
+    if (!r.organism.empty()) {
+      out += "SOURCE      " + r.organism + "\n";
+    }
+    for (const auto& [key, value] : r.attributes) {
+      out += key + "  " + value + "\n";
+    }
+    if (!r.features.empty()) {
+      out += "FEATURES             Location/Qualifiers\n";
+      for (const gdt::Feature& f : r.features) {
+        std::string key(gdt::FeatureKindToString(f.kind));
+        auto key_it = f.qualifiers.find("key");
+        if (f.kind == gdt::FeatureKind::kOther &&
+            key_it != f.qualifiers.end()) {
+          key = key_it->second;
+        }
+        out += "     " + key;
+        out += std::string(key.size() < 16 ? 16 - key.size() : 1, ' ');
+        out += FormatLocation(f) + "\n";
+        for (const auto& [qk, qv] : QualifiersToWrite(f)) {
+          if (qk == "key") continue;
+          out += "                     /" + qk + "=\"" + qv + "\"\n";
+        }
+      }
+    }
+    out += "ORIGIN\n";
+    std::string seq = ToLowerAscii(r.sequence.ToString());
+    for (size_t pos = 0; pos < seq.size(); pos += 60) {
+      std::string num = std::to_string(pos + 1);
+      out += std::string(num.size() < 9 ? 9 - num.size() : 0, ' ') + num;
+      for (size_t block = 0; block < 60 && pos + block < seq.size();
+           block += 10) {
+        out += ' ';
+        out += seq.substr(pos + block, 10);
+      }
+      out += '\n';
+    }
+    out += "//\n";
+  }
+  return out;
+}
+
+}  // namespace genalg::formats

@@ -1,0 +1,39 @@
+#ifndef GENALG_FORMATS_GENBANK_H_
+#define GENALG_FORMATS_GENBANK_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "formats/record.h"
+
+namespace genalg::formats {
+
+/// Parses a GenBank-style flat file (the dominant repository format the
+/// paper's ETL wrappers must handle). Supported structure per entry:
+///
+///   LOCUS       <accession> <length> bp DNA
+///   DEFINITION  <text, may continue on indented lines>
+///   ACCESSION   <accession>
+///   VERSION     <accession>.<n>
+///   SOURCE      <organism>
+///   FEATURES             Location/Qualifiers
+///        <key>           <location>
+///                        /<qualifier>=<value>
+///   ORIGIN
+///           1 acgtacgtac gtacgtacgt ...
+///   //
+///
+/// Multiple entries per file are separated by "//". The parser is strict
+/// about sequence validity and the declared length (Corruption on
+/// mismatch) — noisy entries must be *detected*, not silently accepted
+/// (B10/C9); the ETL layer decides what to do with them.
+Result<std::vector<SequenceRecord>> ParseGenBank(std::string_view text);
+
+/// Renders records back into the same GenBank-style dialect.
+std::string WriteGenBank(const std::vector<SequenceRecord>& records);
+
+}  // namespace genalg::formats
+
+#endif  // GENALG_FORMATS_GENBANK_H_

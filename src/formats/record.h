@@ -1,0 +1,40 @@
+#ifndef GENALG_FORMATS_RECORD_H_
+#define GENALG_FORMATS_RECORD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gdt/feature.h"
+#include "seq/nucleotide_sequence.h"
+
+namespace genalg::formats {
+
+/// The format-independent intermediate every wrapper parses into and every
+/// writer renders from: one repository entry. This is the unit the ETL
+/// pipeline extracts, reconciles, and loads (Sec. 5.1), deliberately close
+/// to what GenBank/EMBL/FASTA records actually carry.
+struct SequenceRecord {
+  std::string accession;    ///< Primary identifier, e.g. "SYN000042".
+  int version = 1;          ///< Entry version; bumped by source updates.
+  std::string description;  ///< Free-text definition line.
+  std::string organism;     ///< Source organism.
+  std::string source_db;    ///< Which repository emitted the entry.
+  seq::NucleotideSequence sequence;
+  std::vector<gdt::Feature> features;
+  std::map<std::string, std::string> attributes;  ///< Open-ended extras.
+
+  bool operator==(const SequenceRecord& other) const {
+    return accession == other.accession && version == other.version &&
+           description == other.description && organism == other.organism &&
+           source_db == other.source_db && sequence == other.sequence &&
+           features == other.features && attributes == other.attributes;
+  }
+  bool operator!=(const SequenceRecord& other) const {
+    return !(*this == other);
+  }
+};
+
+}  // namespace genalg::formats
+
+#endif  // GENALG_FORMATS_RECORD_H_

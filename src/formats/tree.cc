@@ -1,0 +1,176 @@
+#include "formats/tree.h"
+
+#include <cstdlib>
+
+#include "base/strings.h"
+#include "formats/feature_text.h"
+
+namespace genalg::formats {
+
+size_t TreeNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const TreeNode& child : children) n += child.SubtreeSize();
+  return n;
+}
+
+const TreeNode* TreeNode::Child(std::string_view child_tag) const {
+  for (const TreeNode& child : children) {
+    if (child.tag == child_tag) return &child;
+  }
+  return nullptr;
+}
+
+Result<std::vector<TreeNode>> ParseTree(std::string_view text) {
+  std::vector<TreeNode> roots;
+  // Stack of (indent level, node pointer) for the current path.
+  std::vector<std::pair<size_t, TreeNode*>> stack;
+  size_t line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    if (StripWhitespace(raw).empty()) continue;
+    size_t indent = 0;
+    while (indent < raw.size() && raw[indent] == ' ') ++indent;
+    if (indent % 2 != 0) {
+      return Status::Corruption("odd indentation at line " +
+                                std::to_string(line_no));
+    }
+    size_t level = indent / 2;
+    std::string_view body = StripWhitespace(raw);
+    TreeNode node;
+    size_t colon = body.find(" : ");
+    if (colon == std::string_view::npos) {
+      node.tag = std::string(body);
+    } else {
+      node.tag = std::string(StripWhitespace(body.substr(0, colon)));
+      node.value = std::string(StripWhitespace(body.substr(colon + 3)));
+    }
+    if (node.tag.empty()) {
+      return Status::Corruption("empty tag at line " +
+                                std::to_string(line_no));
+    }
+    while (!stack.empty() && stack.back().first >= level) stack.pop_back();
+    if (level == 0) {
+      roots.push_back(std::move(node));
+      stack.clear();
+      stack.emplace_back(0, &roots.back());
+    } else {
+      if (stack.empty() || stack.back().first != level - 1) {
+        return Status::Corruption("indentation jump at line " +
+                                  std::to_string(line_no));
+      }
+      TreeNode* parent = stack.back().second;
+      parent->children.push_back(std::move(node));
+      stack.emplace_back(level, &parent->children.back());
+    }
+  }
+  return roots;
+}
+
+namespace {
+
+void WriteNode(const TreeNode& node, size_t level, std::string* out) {
+  out->append(level * 2, ' ');
+  out->append(node.tag);
+  if (!node.value.empty()) {
+    out->append(" : ");
+    out->append(node.value);
+  }
+  out->push_back('\n');
+  for (const TreeNode& child : node.children) {
+    WriteNode(child, level + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string WriteTree(const std::vector<TreeNode>& roots) {
+  std::string out;
+  for (const TreeNode& root : roots) WriteNode(root, 0, &out);
+  return out;
+}
+
+TreeNode RecordToTree(const SequenceRecord& record) {
+  TreeNode root{"Sequence", record.accession, {}};
+  root.children.push_back({"Version", std::to_string(record.version), {}});
+  if (!record.description.empty()) {
+    root.children.push_back({"Description", record.description, {}});
+  }
+  if (!record.organism.empty()) {
+    root.children.push_back({"Organism", record.organism, {}});
+  }
+  if (!record.source_db.empty()) {
+    root.children.push_back({"SourceDb", record.source_db, {}});
+  }
+  for (const auto& [key, value] : record.attributes) {
+    root.children.push_back(
+        {"Attribute", key + " = " + value, {}});
+  }
+  root.children.push_back({"DNA", record.sequence.ToString(), {}});
+  for (const gdt::Feature& f : record.features) {
+    TreeNode fn{"Feature", std::string(gdt::FeatureKindToString(f.kind)), {}};
+    fn.children.push_back({"Id", f.id, {}});
+    fn.children.push_back({"Span", FormatLocation(f), {}});
+    if (f.confidence != 1.0) {
+      fn.children.push_back(
+          {"Confidence", std::to_string(f.confidence), {}});
+    }
+    for (const auto& [key, value] : f.qualifiers) {
+      fn.children.push_back({"Qualifier", key + " = " + value, {}});
+    }
+    root.children.push_back(std::move(fn));
+  }
+  return root;
+}
+
+Result<SequenceRecord> TreeToRecord(const TreeNode& node) {
+  if (node.tag != "Sequence") {
+    return Status::Corruption("hierarchical record must be a Sequence node");
+  }
+  SequenceRecord record;
+  record.accession = node.value;
+  for (const TreeNode& child : node.children) {
+    if (child.tag == "Version") {
+      record.version = std::atoi(child.value.c_str());
+    } else if (child.tag == "Description") {
+      record.description = child.value;
+    } else if (child.tag == "Organism") {
+      record.organism = child.value;
+    } else if (child.tag == "SourceDb") {
+      record.source_db = child.value;
+    } else if (child.tag == "Attribute") {
+      size_t eq = child.value.find(" = ");
+      if (eq == std::string::npos) {
+        return Status::Corruption("malformed Attribute node");
+      }
+      record.attributes[child.value.substr(0, eq)] =
+          child.value.substr(eq + 3);
+    } else if (child.tag == "DNA") {
+      GENALG_ASSIGN_OR_RETURN(record.sequence,
+                              seq::NucleotideSequence::Dna(child.value));
+    } else if (child.tag == "Feature") {
+      gdt::Feature f;
+      f.kind = gdt::FeatureKindFromString(child.value);
+      for (const TreeNode& part : child.children) {
+        if (part.tag == "Id") {
+          f.id = part.value;
+        } else if (part.tag == "Span") {
+          GENALG_ASSIGN_OR_RETURN(auto loc, ParseLocation(part.value));
+          f.span = loc.first;
+          f.strand = loc.second;
+        } else if (part.tag == "Confidence") {
+          f.confidence = std::atof(part.value.c_str());
+        } else if (part.tag == "Qualifier") {
+          size_t eq = part.value.find(" = ");
+          if (eq == std::string::npos) {
+            return Status::Corruption("malformed Qualifier node");
+          }
+          f.qualifiers[part.value.substr(0, eq)] = part.value.substr(eq + 3);
+        }
+      }
+      record.features.push_back(std::move(f));
+    }
+  }
+  return record;
+}
+
+}  // namespace genalg::formats

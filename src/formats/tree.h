@@ -1,0 +1,58 @@
+#ifndef GENALG_FORMATS_TREE_H_
+#define GENALG_FORMATS_TREE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "formats/record.h"
+
+namespace genalg::formats {
+
+/// A node of a hierarchical (ACeDB-like) record: a tag, an optional value,
+/// and ordered children. This is the "hierarchical data representation" of
+/// the paper's Figure 2 source classification; the ETL tree-diff operates
+/// directly on these nodes.
+struct TreeNode {
+  std::string tag;
+  std::string value;
+  std::vector<TreeNode> children;
+
+  bool operator==(const TreeNode& other) const {
+    return tag == other.tag && value == other.value &&
+           children == other.children;
+  }
+
+  /// Total number of nodes in this subtree (including itself).
+  size_t SubtreeSize() const;
+
+  /// The first direct child with the tag, or nullptr.
+  const TreeNode* Child(std::string_view child_tag) const;
+};
+
+/// Parses the indentation-based hierarchical text format:
+///
+///   Sequence : SYN000042
+///     Description : synthetic entry
+///     DNA : ACGTACGT
+///     Feature : gene
+///       Span : 5..22
+///       Strand : forward
+///
+/// Two spaces per level; "Tag : value" per line (value optional). Returns
+/// the list of top-level nodes. Corruption on inconsistent indentation.
+Result<std::vector<TreeNode>> ParseTree(std::string_view text);
+
+/// Renders nodes back into the indented format.
+std::string WriteTree(const std::vector<TreeNode>& roots);
+
+/// Converts a repository record into its hierarchical rendering and back.
+/// The two functions are inverses over well-formed records.
+TreeNode RecordToTree(const SequenceRecord& record);
+Result<SequenceRecord> TreeToRecord(const TreeNode& node);
+
+}  // namespace genalg::formats
+
+#endif  // GENALG_FORMATS_TREE_H_

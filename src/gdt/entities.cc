@@ -1,0 +1,306 @@
+#include "gdt/entities.h"
+
+#include <algorithm>
+
+namespace genalg::gdt {
+
+namespace {
+
+void SerializeIntervals(const std::vector<Interval>& intervals,
+                        BytesWriter* out) {
+  out->PutVarint(intervals.size());
+  for (const Interval& iv : intervals) {
+    out->PutVarint(iv.begin);
+    out->PutVarint(iv.end);
+  }
+}
+
+Result<std::vector<Interval>> DeserializeIntervals(BytesReader* in) {
+  auto n = in->GetVarint();
+  if (!n.ok()) return n.status();
+  std::vector<Interval> out;
+  out.reserve(static_cast<size_t>(*n));
+  for (uint64_t i = 0; i < *n; ++i) {
+    Interval iv;
+    GENALG_ASSIGN_OR_RETURN(iv.begin, in->GetVarint());
+    GENALG_ASSIGN_OR_RETURN(iv.end, in->GetVarint());
+    out.push_back(iv);
+  }
+  return out;
+}
+
+Status CheckConfidence(double confidence) {
+  if (confidence < 0.0 || confidence > 1.0) {
+    return Status::Corruption("confidence outside [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------- Gene.
+
+bool Gene::operator==(const Gene& other) const {
+  return id == other.id && name == other.name &&
+         organism == other.organism && sequence == other.sequence &&
+         exons == other.exons && codon_table_id == other.codon_table_id &&
+         confidence == other.confidence;
+}
+
+void Gene::Serialize(BytesWriter* out) const {
+  out->PutString(id);
+  out->PutString(name);
+  out->PutString(organism);
+  sequence.Serialize(out);
+  SerializeIntervals(exons, out);
+  out->PutVarint(static_cast<uint64_t>(codon_table_id));
+  out->PutF64(confidence);
+}
+
+Result<Gene> Gene::Deserialize(BytesReader* in) {
+  Gene g;
+  GENALG_ASSIGN_OR_RETURN(g.id, in->GetString());
+  GENALG_ASSIGN_OR_RETURN(g.name, in->GetString());
+  GENALG_ASSIGN_OR_RETURN(g.organism, in->GetString());
+  GENALG_ASSIGN_OR_RETURN(g.sequence,
+                          seq::NucleotideSequence::Deserialize(in));
+  GENALG_ASSIGN_OR_RETURN(g.exons, DeserializeIntervals(in));
+  GENALG_ASSIGN_OR_RETURN(uint64_t table, in->GetVarint());
+  g.codon_table_id = static_cast<int>(table);
+  GENALG_ASSIGN_OR_RETURN(g.confidence, in->GetF64());
+  GENALG_RETURN_IF_ERROR(CheckConfidence(g.confidence));
+  return g;
+}
+
+Status Gene::Validate() const {
+  if (sequence.alphabet() != seq::Alphabet::kDna) {
+    return Status::InvalidArgument("gene sequence must be DNA");
+  }
+  GENALG_RETURN_IF_ERROR(CheckConfidence(confidence));
+  for (size_t i = 0; i < exons.size(); ++i) {
+    const Interval& iv = exons[i];
+    if (iv.empty()) {
+      return Status::InvalidArgument("exon " + std::to_string(i) +
+                                     " is empty");
+    }
+    if (iv.end > sequence.size()) {
+      return Status::InvalidArgument("exon " + std::to_string(i) +
+                                     " exceeds gene sequence");
+    }
+    if (i > 0 && exons[i - 1].end > iv.begin) {
+      return Status::InvalidArgument(
+          "exons must be sorted and non-overlapping");
+    }
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------- PrimaryTranscript.
+
+bool PrimaryTranscript::operator==(const PrimaryTranscript& other) const {
+  return gene_id == other.gene_id && sequence == other.sequence &&
+         exons == other.exons && codon_table_id == other.codon_table_id &&
+         confidence == other.confidence;
+}
+
+void PrimaryTranscript::Serialize(BytesWriter* out) const {
+  out->PutString(gene_id);
+  sequence.Serialize(out);
+  SerializeIntervals(exons, out);
+  out->PutVarint(static_cast<uint64_t>(codon_table_id));
+  out->PutF64(confidence);
+}
+
+Result<PrimaryTranscript> PrimaryTranscript::Deserialize(BytesReader* in) {
+  PrimaryTranscript t;
+  GENALG_ASSIGN_OR_RETURN(t.gene_id, in->GetString());
+  GENALG_ASSIGN_OR_RETURN(t.sequence,
+                          seq::NucleotideSequence::Deserialize(in));
+  GENALG_ASSIGN_OR_RETURN(t.exons, DeserializeIntervals(in));
+  GENALG_ASSIGN_OR_RETURN(uint64_t table, in->GetVarint());
+  t.codon_table_id = static_cast<int>(table);
+  GENALG_ASSIGN_OR_RETURN(t.confidence, in->GetF64());
+  GENALG_RETURN_IF_ERROR(CheckConfidence(t.confidence));
+  return t;
+}
+
+// -------------------------------------------------------------------- MRna.
+
+bool MRna::operator==(const MRna& other) const {
+  return gene_id == other.gene_id && sequence == other.sequence &&
+         codon_table_id == other.codon_table_id &&
+         confidence == other.confidence;
+}
+
+void MRna::Serialize(BytesWriter* out) const {
+  out->PutString(gene_id);
+  sequence.Serialize(out);
+  out->PutVarint(static_cast<uint64_t>(codon_table_id));
+  out->PutF64(confidence);
+}
+
+Result<MRna> MRna::Deserialize(BytesReader* in) {
+  MRna m;
+  GENALG_ASSIGN_OR_RETURN(m.gene_id, in->GetString());
+  GENALG_ASSIGN_OR_RETURN(m.sequence,
+                          seq::NucleotideSequence::Deserialize(in));
+  GENALG_ASSIGN_OR_RETURN(uint64_t table, in->GetVarint());
+  m.codon_table_id = static_cast<int>(table);
+  GENALG_ASSIGN_OR_RETURN(m.confidence, in->GetF64());
+  GENALG_RETURN_IF_ERROR(CheckConfidence(m.confidence));
+  return m;
+}
+
+// ------------------------------------------------------------------ Protein.
+
+bool Protein::operator==(const Protein& other) const {
+  return id == other.id && gene_id == other.gene_id &&
+         sequence == other.sequence && confidence == other.confidence;
+}
+
+void Protein::Serialize(BytesWriter* out) const {
+  out->PutString(id);
+  out->PutString(gene_id);
+  sequence.Serialize(out);
+  out->PutF64(confidence);
+}
+
+Result<Protein> Protein::Deserialize(BytesReader* in) {
+  Protein p;
+  GENALG_ASSIGN_OR_RETURN(p.id, in->GetString());
+  GENALG_ASSIGN_OR_RETURN(p.gene_id, in->GetString());
+  GENALG_ASSIGN_OR_RETURN(p.sequence, seq::ProteinSequence::Deserialize(in));
+  GENALG_ASSIGN_OR_RETURN(p.confidence, in->GetF64());
+  GENALG_RETURN_IF_ERROR(CheckConfidence(p.confidence));
+  return p;
+}
+
+// --------------------------------------------------------------- Chromosome.
+
+bool Chromosome::operator==(const Chromosome& other) const {
+  return name == other.name && sequence == other.sequence &&
+         features == other.features;
+}
+
+void Chromosome::Serialize(BytesWriter* out) const {
+  out->PutString(name);
+  sequence.Serialize(out);
+  out->PutVarint(features.size());
+  for (const Feature& f : features) f.Serialize(out);
+}
+
+Result<Chromosome> Chromosome::Deserialize(BytesReader* in) {
+  Chromosome c;
+  GENALG_ASSIGN_OR_RETURN(c.name, in->GetString());
+  GENALG_ASSIGN_OR_RETURN(c.sequence,
+                          seq::NucleotideSequence::Deserialize(in));
+  auto n = in->GetVarint();
+  if (!n.ok()) return n.status();
+  c.features.reserve(static_cast<size_t>(*n));
+  for (uint64_t i = 0; i < *n; ++i) {
+    GENALG_ASSIGN_OR_RETURN(Feature f, Feature::Deserialize(in));
+    c.features.push_back(std::move(f));
+  }
+  return c;
+}
+
+std::vector<const Feature*> Chromosome::FeaturesInRange(FeatureKind kind,
+                                                        uint64_t begin,
+                                                        uint64_t end) const {
+  std::vector<const Feature*> out;
+  Interval query{begin, end};
+  for (const Feature& f : features) {
+    if (f.kind == kind && f.span.Overlaps(query)) out.push_back(&f);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- Genome.
+
+bool Genome::operator==(const Genome& other) const {
+  return organism == other.organism && chromosomes == other.chromosomes;
+}
+
+void Genome::Serialize(BytesWriter* out) const {
+  out->PutString(organism);
+  out->PutVarint(chromosomes.size());
+  for (const Chromosome& c : chromosomes) c.Serialize(out);
+}
+
+Result<Genome> Genome::Deserialize(BytesReader* in) {
+  Genome g;
+  GENALG_ASSIGN_OR_RETURN(g.organism, in->GetString());
+  auto n = in->GetVarint();
+  if (!n.ok()) return n.status();
+  g.chromosomes.reserve(static_cast<size_t>(*n));
+  for (uint64_t i = 0; i < *n; ++i) {
+    GENALG_ASSIGN_OR_RETURN(Chromosome c, Chromosome::Deserialize(in));
+    g.chromosomes.push_back(std::move(c));
+  }
+  return g;
+}
+
+uint64_t Genome::TotalLength() const {
+  uint64_t total = 0;
+  for (const Chromosome& c : chromosomes) total += c.sequence.size();
+  return total;
+}
+
+Result<const Chromosome*> Genome::FindChromosome(
+    std::string_view name) const {
+  for (const Chromosome& c : chromosomes) {
+    if (c.name == name) return &c;
+  }
+  return Status::NotFound("no chromosome named '" + std::string(name) + "'");
+}
+
+Result<Gene> Genome::ExtractGene(std::string_view gene_id) const {
+  for (const Chromosome& chrom : chromosomes) {
+    for (const Feature& f : chrom.features) {
+      if (f.kind != FeatureKind::kGene || f.id != gene_id) continue;
+      Gene gene;
+      gene.id = f.id;
+      auto name_it = f.qualifiers.find("name");
+      gene.name = name_it != f.qualifiers.end() ? name_it->second : f.id;
+      gene.organism = organism;
+      gene.confidence = f.confidence;
+      auto table_it = f.qualifiers.find("codon_table");
+      if (table_it != f.qualifiers.end()) {
+        gene.codon_table_id = std::atoi(table_it->second.c_str());
+      }
+      GENALG_ASSIGN_OR_RETURN(
+          gene.sequence,
+          chrom.sequence.Subsequence(f.span.begin, f.span.length()));
+      // Collect exon features inside the gene span, in gene-local
+      // coordinates on the forward strand.
+      std::vector<Interval> exons;
+      for (const Feature& e : chrom.features) {
+        if (e.kind != FeatureKind::kExon) continue;
+        if (e.span.begin < f.span.begin || e.span.end > f.span.end) continue;
+        auto parent = e.qualifiers.find("gene");
+        if (parent != e.qualifiers.end() && parent->second != f.id) continue;
+        exons.push_back(
+            Interval{e.span.begin - f.span.begin, e.span.end - f.span.begin});
+      }
+      std::sort(exons.begin(), exons.end());
+      if (f.strand == Strand::kReverse) {
+        gene.sequence = gene.sequence.ReverseComplement();
+        // Mirror the exon coordinates onto the reverse strand.
+        uint64_t len = gene.sequence.size();
+        std::vector<Interval> mirrored;
+        mirrored.reserve(exons.size());
+        for (auto it = exons.rbegin(); it != exons.rend(); ++it) {
+          mirrored.push_back(Interval{len - it->end, len - it->begin});
+        }
+        exons = std::move(mirrored);
+      }
+      gene.exons = std::move(exons);
+      GENALG_RETURN_IF_ERROR(gene.Validate());
+      return gene;
+    }
+  }
+  return Status::NotFound("no gene feature with id '" +
+                          std::string(gene_id) + "'");
+}
+
+}  // namespace genalg::gdt

@@ -1,0 +1,125 @@
+#ifndef GENALG_GDT_ENTITIES_H_
+#define GENALG_GDT_ENTITIES_H_
+
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+#include "base/result.h"
+#include "gdt/feature.h"
+#include "seq/nucleotide_sequence.h"
+#include "seq/protein_sequence.h"
+
+namespace genalg::gdt {
+
+/// The genomic data types (GDTs) of the paper's mini-algebra (Sec. 4.2):
+///
+///   sorts gene, primarytranscript, mrna, protein
+///   ops   transcribe: gene -> primarytranscript
+///         splice:     primarytranscript -> mrna
+///         translate:  mrna -> protein
+///
+/// plus the container sorts chromosome and genome. Every entity is a plain
+/// value with a flat Serialize form so the Unifying Database can store it
+/// as an opaque UDT, and every entity carries a `confidence` so biological
+/// uncertainty (Sec. 4.3) survives the whole pipeline.
+
+/// A gene: the genomic DNA of the locus (coding-strand orientation) with
+/// its exon structure. Coordinates in `exons` are relative to `sequence`.
+struct Gene {
+  std::string id;        ///< Stable accession, e.g. "GENE000042".
+  std::string name;      ///< Biologist-facing symbol, e.g. "gltA".
+  std::string organism;
+  seq::NucleotideSequence sequence;  ///< DNA, coding strand.
+  std::vector<Interval> exons;       ///< Sorted, non-overlapping.
+  int codon_table_id = 1;            ///< NCBI translation table.
+  double confidence = 1.0;
+
+  bool operator==(const Gene& other) const;
+
+  void Serialize(BytesWriter* out) const;
+  static Result<Gene> Deserialize(BytesReader* in);
+
+  /// Checks structural invariants: DNA alphabet, exons sorted,
+  /// non-overlapping and inside the sequence, confidence in [0, 1].
+  Status Validate() const;
+};
+
+/// The unspliced RNA copy of a gene (exon structure carried along).
+struct PrimaryTranscript {
+  std::string gene_id;
+  seq::NucleotideSequence sequence;  ///< RNA.
+  std::vector<Interval> exons;       ///< Same coordinates as the gene.
+  int codon_table_id = 1;
+  double confidence = 1.0;
+
+  bool operator==(const PrimaryTranscript& other) const;
+  void Serialize(BytesWriter* out) const;
+  static Result<PrimaryTranscript> Deserialize(BytesReader* in);
+};
+
+/// A spliced messenger RNA.
+struct MRna {
+  std::string gene_id;
+  seq::NucleotideSequence sequence;  ///< RNA, introns removed.
+  int codon_table_id = 1;
+  double confidence = 1.0;
+
+  bool operator==(const MRna& other) const;
+  void Serialize(BytesWriter* out) const;
+  static Result<MRna> Deserialize(BytesReader* in);
+};
+
+/// A protein with provenance back to the mRNA/gene that produced it.
+struct Protein {
+  std::string id;
+  std::string gene_id;
+  seq::ProteinSequence sequence;
+  double confidence = 1.0;
+
+  bool operator==(const Protein& other) const;
+  void Serialize(BytesWriter* out) const;
+  static Result<Protein> Deserialize(BytesReader* in);
+};
+
+/// A chromosome: one long sequence plus its annotations.
+struct Chromosome {
+  std::string name;
+  seq::NucleotideSequence sequence;
+  std::vector<Feature> features;
+
+  bool operator==(const Chromosome& other) const;
+  void Serialize(BytesWriter* out) const;
+  static Result<Chromosome> Deserialize(BytesReader* in);
+
+  /// All features of the given kind overlapping [begin, end).
+  std::vector<const Feature*> FeaturesInRange(FeatureKind kind,
+                                              uint64_t begin,
+                                              uint64_t end) const;
+};
+
+/// A genome: the top-level GDT — an organism and its chromosomes.
+struct Genome {
+  std::string organism;
+  std::vector<Chromosome> chromosomes;
+
+  bool operator==(const Genome& other) const;
+  void Serialize(BytesWriter* out) const;
+  static Result<Genome> Deserialize(BytesReader* in);
+
+  /// Total number of bases over all chromosomes.
+  uint64_t TotalLength() const;
+
+  /// Finds the chromosome by name; NotFound otherwise.
+  Result<const Chromosome*> FindChromosome(std::string_view name) const;
+
+  /// Materializes a Gene GDT from a gene feature on a chromosome: extracts
+  /// the feature's span (reverse-complemented for reverse-strand genes) and
+  /// collects the exon features it contains. NotFound if no gene feature
+  /// has the id.
+  Result<Gene> ExtractGene(std::string_view gene_id) const;
+};
+
+}  // namespace genalg::gdt
+
+#endif  // GENALG_GDT_ENTITIES_H_

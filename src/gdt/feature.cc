@@ -1,0 +1,81 @@
+#include "gdt/feature.h"
+
+#include "base/strings.h"
+
+namespace genalg::gdt {
+
+std::string_view FeatureKindToString(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kGene: return "gene";
+    case FeatureKind::kCds: return "cds";
+    case FeatureKind::kExon: return "exon";
+    case FeatureKind::kIntron: return "intron";
+    case FeatureKind::kMRna: return "mrna";
+    case FeatureKind::kPromoter: return "promoter";
+    case FeatureKind::kTerminator: return "terminator";
+    case FeatureKind::kRepeat: return "repeat";
+    case FeatureKind::kVariant: return "variant";
+    case FeatureKind::kSource: return "source";
+    case FeatureKind::kOther: return "other";
+  }
+  return "other";
+}
+
+FeatureKind FeatureKindFromString(std::string_view name) {
+  static constexpr FeatureKind kAll[] = {
+      FeatureKind::kGene,    FeatureKind::kCds,        FeatureKind::kExon,
+      FeatureKind::kIntron,  FeatureKind::kMRna,       FeatureKind::kPromoter,
+      FeatureKind::kTerminator, FeatureKind::kRepeat,  FeatureKind::kVariant,
+      FeatureKind::kSource,  FeatureKind::kOther};
+  for (FeatureKind k : kAll) {
+    if (EqualsIgnoreCase(name, FeatureKindToString(k))) return k;
+  }
+  return FeatureKind::kOther;
+}
+
+void Feature::Serialize(BytesWriter* out) const {
+  out->PutString(id);
+  out->PutU8(static_cast<uint8_t>(kind));
+  out->PutVarint(span.begin);
+  out->PutVarint(span.end);
+  out->PutU8(static_cast<uint8_t>(strand));
+  out->PutF64(confidence);
+  out->PutVarint(qualifiers.size());
+  for (const auto& [key, value] : qualifiers) {
+    out->PutString(key);
+    out->PutString(value);
+  }
+}
+
+Result<Feature> Feature::Deserialize(BytesReader* in) {
+  Feature f;
+  GENALG_ASSIGN_OR_RETURN(f.id, in->GetString());
+  auto kind = in->GetU8();
+  if (!kind.ok()) return kind.status();
+  if (*kind > static_cast<uint8_t>(FeatureKind::kOther)) {
+    return Status::Corruption("invalid feature kind tag");
+  }
+  f.kind = static_cast<FeatureKind>(*kind);
+  GENALG_ASSIGN_OR_RETURN(f.span.begin, in->GetVarint());
+  GENALG_ASSIGN_OR_RETURN(f.span.end, in->GetVarint());
+  auto strand = in->GetU8();
+  if (!strand.ok()) return strand.status();
+  if (*strand > static_cast<uint8_t>(Strand::kUnknown)) {
+    return Status::Corruption("invalid strand tag");
+  }
+  f.strand = static_cast<Strand>(*strand);
+  GENALG_ASSIGN_OR_RETURN(f.confidence, in->GetF64());
+  if (f.confidence < 0.0 || f.confidence > 1.0) {
+    return Status::Corruption("feature confidence outside [0, 1]");
+  }
+  auto n = in->GetVarint();
+  if (!n.ok()) return n.status();
+  for (uint64_t i = 0; i < *n; ++i) {
+    GENALG_ASSIGN_OR_RETURN(std::string key, in->GetString());
+    GENALG_ASSIGN_OR_RETURN(std::string value, in->GetString());
+    f.qualifiers.emplace(std::move(key), std::move(value));
+  }
+  return f;
+}
+
+}  // namespace genalg::gdt

@@ -1,0 +1,93 @@
+#ifndef GENALG_GDT_FEATURE_H_
+#define GENALG_GDT_FEATURE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+#include "base/result.h"
+
+namespace genalg::gdt {
+
+/// A half-open interval [begin, end) of sequence coordinates.
+struct Interval {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  uint64_t length() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  bool Contains(uint64_t pos) const { return pos >= begin && pos < end; }
+  bool Overlaps(const Interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+
+  bool operator==(const Interval& other) const {
+    return begin == other.begin && end == other.end;
+  }
+  bool operator<(const Interval& other) const {
+    return begin != other.begin ? begin < other.begin : end < other.end;
+  }
+};
+
+/// Which strand of the double helix a feature lies on.
+enum class Strand : uint8_t {
+  kForward = 0,
+  kReverse = 1,
+  kUnknown = 2,  ///< Strand could not be determined (uncertainty, C9).
+};
+
+/// The feature vocabulary used across the warehouse. Deliberately small
+/// and extensible via kOther + the "note" qualifier.
+enum class FeatureKind : uint8_t {
+  kGene = 0,
+  kCds = 1,
+  kExon = 2,
+  kIntron = 3,
+  kMRna = 4,
+  kPromoter = 5,
+  kTerminator = 6,
+  kRepeat = 7,
+  kVariant = 8,
+  kSource = 9,
+  kOther = 10,
+};
+
+/// Canonical lowercase name of a feature kind (GenBank-style keys).
+std::string_view FeatureKindToString(FeatureKind kind);
+
+/// Parses a feature-kind name (case-insensitive); unknown names map to
+/// kOther rather than failing, mirroring how repository records carry
+/// open-ended vocabularies.
+FeatureKind FeatureKindFromString(std::string_view name);
+
+/// An annotation attached to a stretch of sequence: the unit the Unifying
+/// Database stores alongside every imported entry, and the carrier of
+/// user-generated annotations (C13).
+///
+/// `confidence` in [0, 1] is the explicit uncertainty tag required by the
+/// paper (C9/Sec. 4.3): derived or reconciled features carry less than 1.0
+/// and operations propagate it rather than "pretending correct results".
+struct Feature {
+  std::string id;
+  FeatureKind kind = FeatureKind::kOther;
+  Interval span;
+  Strand strand = Strand::kForward;
+  double confidence = 1.0;
+  std::map<std::string, std::string> qualifiers;
+
+  bool operator==(const Feature& other) const {
+    return id == other.id && kind == other.kind && span == other.span &&
+           strand == other.strand && confidence == other.confidence &&
+           qualifiers == other.qualifiers;
+  }
+
+  /// Flat encoding for warehouse storage.
+  void Serialize(BytesWriter* out) const;
+  static Result<Feature> Deserialize(BytesReader* in);
+};
+
+}  // namespace genalg::gdt
+
+#endif  // GENALG_GDT_FEATURE_H_

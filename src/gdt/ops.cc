@@ -1,0 +1,436 @@
+#include "gdt/ops.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "base/strings.h"
+#include "seq/codon_table.h"
+
+namespace genalg::gdt {
+
+namespace {
+
+using seq::BaseCode;
+using seq::CodonTable;
+using seq::NucleotideSequence;
+using seq::ProteinSequence;
+
+// Positions where translation starts/stops within a message; shared by
+// Translate and CodonUsage.
+struct CodingRegion {
+  size_t start;        // Offset of the start codon.
+  size_t end;          // One past the last translated codon (incl. stop).
+  bool found_stop;
+};
+
+Result<CodingRegion> LocateCodingRegion(const NucleotideSequence& rna,
+                                        const CodonTable& table) {
+  for (size_t pos = 0; pos + 3 <= rna.size(); ++pos) {
+    if (!table.IsStart(rna.At(pos), rna.At(pos + 1), rna.At(pos + 2))) {
+      continue;
+    }
+    CodingRegion region{pos, rna.size(), false};
+    for (size_t p = pos; p + 3 <= rna.size(); p += 3) {
+      if (table.IsStop(rna.At(p), rna.At(p + 1), rna.At(p + 2))) {
+        region.end = p + 3;
+        region.found_stop = true;
+        break;
+      }
+    }
+    if (!region.found_stop) {
+      // Trim trailing bases that do not fill a codon.
+      region.end = pos + ((rna.size() - pos) / 3) * 3;
+    }
+    return region;
+  }
+  return Status::NotFound("mRNA contains no start codon");
+}
+
+}  // namespace
+
+Result<PrimaryTranscript> Transcribe(const Gene& gene) {
+  GENALG_RETURN_IF_ERROR(gene.Validate());
+  PrimaryTranscript t;
+  t.gene_id = gene.id;
+  GENALG_ASSIGN_OR_RETURN(t.sequence, gene.sequence.ToRna());
+  t.exons = gene.exons;
+  t.codon_table_id = gene.codon_table_id;
+  t.confidence = gene.confidence;
+  return t;
+}
+
+Result<MRna> Splice(const PrimaryTranscript& transcript) {
+  if (transcript.sequence.alphabet() != seq::Alphabet::kRna) {
+    return Status::InvalidArgument("splice expects an RNA transcript");
+  }
+  MRna m;
+  m.gene_id = transcript.gene_id;
+  m.codon_table_id = transcript.codon_table_id;
+  m.confidence = transcript.confidence;
+  if (transcript.exons.empty()) {
+    m.sequence = transcript.sequence;
+    return m;
+  }
+  m.sequence = NucleotideSequence(seq::Alphabet::kRna);
+  const auto& exons = transcript.exons;
+  for (size_t i = 0; i < exons.size(); ++i) {
+    if (exons[i].end > transcript.sequence.size()) {
+      return Status::InvalidArgument("exon exceeds transcript length");
+    }
+    if (i > 0 && exons[i - 1].end > exons[i].begin) {
+      return Status::InvalidArgument("exons overlap or are unsorted");
+    }
+    GENALG_ASSIGN_OR_RETURN(
+        NucleotideSequence exon,
+        transcript.sequence.Subsequence(exons[i].begin, exons[i].length()));
+    GENALG_RETURN_IF_ERROR(m.sequence.Concat(exon));
+    // Inspect the intron downstream of this exon for the canonical
+    // GU...AG boundary; a violation marks an approximate splice.
+    if (i + 1 < exons.size()) {
+      uint64_t intron_begin = exons[i].end;
+      uint64_t intron_end = exons[i + 1].begin;
+      bool canonical = false;
+      if (intron_end - intron_begin >= 4) {
+        BaseCode g1 = transcript.sequence.At(intron_begin);
+        BaseCode u1 = transcript.sequence.At(intron_begin + 1);
+        BaseCode a2 = transcript.sequence.At(intron_end - 2);
+        BaseCode g2 = transcript.sequence.At(intron_end - 1);
+        canonical = g1 == seq::kBaseG && u1 == seq::kBaseT &&
+                    a2 == seq::kBaseA && g2 == seq::kBaseG;
+      }
+      if (!canonical) m.confidence *= kNonCanonicalIntronPenalty;
+    }
+  }
+  return m;
+}
+
+Result<Protein> Translate(const MRna& mrna) {
+  if (mrna.sequence.alphabet() != seq::Alphabet::kRna) {
+    return Status::InvalidArgument("translate expects mRNA");
+  }
+  GENALG_ASSIGN_OR_RETURN(const CodonTable* table,
+                          CodonTable::ByNcbiId(mrna.codon_table_id));
+  GENALG_ASSIGN_OR_RETURN(CodingRegion region,
+                          LocateCodingRegion(mrna.sequence, *table));
+  Protein p;
+  p.gene_id = mrna.gene_id;
+  p.id = mrna.gene_id.empty() ? "protein" : mrna.gene_id + ".p";
+  p.confidence = mrna.confidence;
+
+  size_t total = 0;
+  size_t ambiguous = 0;
+  const NucleotideSequence& rna = mrna.sequence;
+  size_t coding_end = region.found_stop ? region.end - 3 : region.end;
+  for (size_t pos = region.start; pos + 3 <= coding_end; pos += 3) {
+    char aa = table->Translate(rna.At(pos), rna.At(pos + 1), rna.At(pos + 2));
+    ++total;
+    if (aa == 'X') ++ambiguous;
+    GENALG_RETURN_IF_ERROR(p.sequence.Append(aa));
+  }
+  if (!region.found_stop) p.confidence *= kMissingStopPenalty;
+  if (total > 0 && ambiguous > 0) {
+    p.confidence *=
+        static_cast<double>(total - ambiguous) / static_cast<double>(total);
+  }
+  return p;
+}
+
+Result<Protein> Decode(const Gene& gene) {
+  GENALG_ASSIGN_OR_RETURN(PrimaryTranscript t, Transcribe(gene));
+  GENALG_ASSIGN_OR_RETURN(MRna m, Splice(t));
+  return Translate(m);
+}
+
+bool Contains(const NucleotideSequence& fragment,
+              const NucleotideSequence& pattern) {
+  return fragment.Find(pattern) != NucleotideSequence::npos;
+}
+
+std::vector<uint64_t> FindMotif(const NucleotideSequence& subject,
+                                const NucleotideSequence& motif) {
+  std::vector<uint64_t> hits;
+  if (motif.empty() || motif.size() > subject.size()) return hits;
+  size_t pos = subject.Find(motif, 0);
+  while (pos != NucleotideSequence::npos) {
+    hits.push_back(pos);
+    pos = subject.Find(motif, pos + 1);
+  }
+  return hits;
+}
+
+Result<std::vector<Orf>> FindOrfs(const NucleotideSequence& dna,
+                                  size_t min_codons, int codon_table_id) {
+  if (dna.alphabet() != seq::Alphabet::kDna) {
+    return Status::InvalidArgument("FindOrfs expects DNA");
+  }
+  GENALG_ASSIGN_OR_RETURN(const CodonTable* table,
+                          CodonTable::ByNcbiId(codon_table_id));
+  std::vector<Orf> orfs;
+  NucleotideSequence rc = dna.ReverseComplement();
+  for (int direction = 0; direction < 2; ++direction) {
+    const NucleotideSequence& strand = direction == 0 ? dna : rc;
+    for (int frame = 0; frame < 3; ++frame) {
+      size_t pos = static_cast<size_t>(frame);
+      while (pos + 3 <= strand.size()) {
+        if (!table->IsStart(strand.At(pos), strand.At(pos + 1),
+                            strand.At(pos + 2))) {
+          pos += 3;
+          continue;
+        }
+        // Extend to the in-frame stop.
+        size_t p = pos;
+        bool stopped = false;
+        ProteinSequence protein;
+        while (p + 3 <= strand.size()) {
+          char aa = table->Translate(strand.At(p), strand.At(p + 1),
+                                     strand.At(p + 2));
+          if (aa == '*') {
+            stopped = true;
+            break;
+          }
+          GENALG_RETURN_IF_ERROR(protein.Append(aa));
+          p += 3;
+        }
+        if (stopped && protein.size() >= min_codons) {
+          Orf orf;
+          orf.frame = (direction == 0 ? 1 : -1) * (frame + 1);
+          orf.begin = pos;
+          orf.end = p + 3;
+          orf.protein = std::move(protein);
+          orfs.push_back(std::move(orf));
+          pos = p + 3;  // Continue after the stop codon.
+        } else {
+          pos += 3;
+        }
+      }
+    }
+  }
+  return orfs;
+}
+
+const std::vector<RestrictionEnzyme>& BuiltinEnzymes() {
+  static const auto& enzymes = *new std::vector<RestrictionEnzyme>{
+      {"EcoRI", "GAATTC", 1},  {"BamHI", "GGATCC", 1},
+      {"HindIII", "AAGCTT", 1}, {"NotI", "GCGGCCGC", 2},
+      {"SmaI", "CCCGGG", 3},   {"TaqI", "TCGA", 1},
+  };
+  return enzymes;
+}
+
+Result<RestrictionEnzyme> EnzymeByName(std::string_view name) {
+  for (const RestrictionEnzyme& e : BuiltinEnzymes()) {
+    if (EqualsIgnoreCase(e.name, name)) return e;
+  }
+  return Status::NotFound("unknown restriction enzyme '" +
+                          std::string(name) + "'");
+}
+
+Result<std::vector<NucleotideSequence>> Digest(
+    const NucleotideSequence& dna, const RestrictionEnzyme& enzyme) {
+  if (dna.alphabet() != seq::Alphabet::kDna) {
+    return Status::InvalidArgument("digest expects DNA");
+  }
+  GENALG_ASSIGN_OR_RETURN(NucleotideSequence site,
+                          NucleotideSequence::Dna(enzyme.site));
+  if (site.empty() || enzyme.cut_offset > site.size()) {
+    return Status::InvalidArgument("malformed enzyme definition");
+  }
+  std::vector<uint64_t> cut_points;
+  for (uint64_t hit : FindMotif(dna, site)) {
+    uint64_t cut = hit + enzyme.cut_offset;
+    if (cut > 0 && cut < dna.size()) cut_points.push_back(cut);
+  }
+  std::vector<NucleotideSequence> fragments;
+  uint64_t prev = 0;
+  for (uint64_t cut : cut_points) {
+    if (cut <= prev) continue;  // Overlapping sites cannot re-cut.
+    GENALG_ASSIGN_OR_RETURN(NucleotideSequence frag,
+                            dna.Subsequence(prev, cut - prev));
+    fragments.push_back(std::move(frag));
+    prev = cut;
+  }
+  GENALG_ASSIGN_OR_RETURN(NucleotideSequence tail,
+                          dna.Subsequence(prev, dna.size() - prev));
+  fragments.push_back(std::move(tail));
+  return fragments;
+}
+
+Result<double> MeltingTemperatureCelsius(const NucleotideSequence& dna) {
+  if (dna.empty()) {
+    return Status::InvalidArgument("melting temperature of empty sequence");
+  }
+  size_t at = 0;
+  size_t gc = 0;
+  for (size_t i = 0; i < dna.size(); ++i) {
+    BaseCode code = dna.At(i);
+    if (!seq::IsUnambiguousBase(code)) {
+      return Status::InvalidArgument(
+          "melting temperature undefined for ambiguous base at position " +
+          std::to_string(i));
+    }
+    if (code == seq::kBaseA || code == seq::kBaseT) {
+      ++at;
+    } else {
+      ++gc;
+    }
+  }
+  double n = static_cast<double>(dna.size());
+  if (dna.size() < 14) {
+    return 2.0 * static_cast<double>(at) + 4.0 * static_cast<double>(gc);
+  }
+  return 64.9 + 41.0 * (static_cast<double>(gc) - 16.4) / n;
+}
+
+Result<NucleotideSequence> ReverseTranslate(const ProteinSequence& protein,
+                                            int codon_table_id) {
+  GENALG_ASSIGN_OR_RETURN(const CodonTable* table,
+                          CodonTable::ByNcbiId(codon_table_id));
+  static constexpr BaseCode kBases[4] = {seq::kBaseT, seq::kBaseC,
+                                         seq::kBaseA, seq::kBaseG};
+  NucleotideSequence out(seq::Alphabet::kDna);
+  for (size_t r = 0; r < protein.size(); ++r) {
+    char aa = protein.At(r);
+    if (aa == '-') {
+      return Status::InvalidArgument(
+          "cannot reverse-translate a gapped protein");
+    }
+    BaseCode union_codon[3] = {0, 0, 0};
+    if (aa == 'X') {
+      union_codon[0] = union_codon[1] = union_codon[2] = seq::kBaseN;
+    } else {
+      // Union over every codon whose translation matches (B and Z match
+      // their two constituent residues).
+      auto matches = [aa](char codon_aa) {
+        if (aa == 'B') return codon_aa == 'N' || codon_aa == 'D';
+        if (aa == 'Z') return codon_aa == 'Q' || codon_aa == 'E';
+        return codon_aa == aa;
+      };
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          for (int k = 0; k < 4; ++k) {
+            if (!matches(table->Translate(kBases[i], kBases[j],
+                                          kBases[k]))) {
+              continue;
+            }
+            union_codon[0] |= kBases[i];
+            union_codon[1] |= kBases[j];
+            union_codon[2] |= kBases[k];
+          }
+        }
+      }
+      if (union_codon[0] == 0) {
+        return Status::InvalidArgument(
+            std::string("residue '") + aa +
+            "' has no codon in table " + std::to_string(codon_table_id));
+      }
+    }
+    out.Append(union_codon[0]);
+    out.Append(union_codon[1]);
+    out.Append(union_codon[2]);
+  }
+  return out;
+}
+
+Result<ProteinSequence> TranslateFrame(const NucleotideSequence& dna,
+                                       int frame, int codon_table_id) {
+  if (frame == 0 || frame > 3 || frame < -3) {
+    return Status::InvalidArgument("frame must be in {+-1, +-2, +-3}");
+  }
+  if (dna.alphabet() != seq::Alphabet::kDna) {
+    return Status::InvalidArgument("TranslateFrame expects DNA");
+  }
+  GENALG_ASSIGN_OR_RETURN(const CodonTable* table,
+                          CodonTable::ByNcbiId(codon_table_id));
+  NucleotideSequence strand =
+      frame > 0 ? dna : dna.ReverseComplement();
+  size_t offset = static_cast<size_t>(std::abs(frame)) - 1;
+  ProteinSequence out;
+  for (size_t pos = offset; pos + 3 <= strand.size(); pos += 3) {
+    GENALG_RETURN_IF_ERROR(out.Append(table->Translate(
+        strand.At(pos), strand.At(pos + 1), strand.At(pos + 2))));
+  }
+  return out;
+}
+
+Result<Orf> LongestOrf(const NucleotideSequence& dna, size_t min_codons,
+                       int codon_table_id) {
+  GENALG_ASSIGN_OR_RETURN(std::vector<Orf> orfs,
+                          FindOrfs(dna, min_codons, codon_table_id));
+  if (orfs.empty()) {
+    return Status::NotFound("no ORF of at least " +
+                            std::to_string(min_codons) + " codons");
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < orfs.size(); ++i) {
+    if (orfs[i].protein.size() > orfs[best].protein.size()) best = i;
+  }
+  return orfs[best];
+}
+
+Result<double> KmerProfileDistance(const NucleotideSequence& a,
+                                   const NucleotideSequence& b, size_t k) {
+  if (k < 2 || k > 16) {
+    return Status::InvalidArgument("k must be in [2, 16]");
+  }
+  if (a.size() < k || b.size() < k) {
+    return Status::InvalidArgument("sequences shorter than k");
+  }
+  auto profile = [k](const NucleotideSequence& s) {
+    std::map<std::string, uint64_t> counts;
+    for (size_t pos = 0; pos + k <= s.size(); ++pos) {
+      bool ambiguous = false;
+      std::string word;
+      for (size_t i = 0; i < k; ++i) {
+        BaseCode code = s.At(pos + i);
+        if (!seq::IsUnambiguousBase(code)) {
+          ambiguous = true;
+          break;
+        }
+        word.push_back(seq::BaseToChar(code, seq::Alphabet::kDna));
+      }
+      if (!ambiguous) ++counts[word];
+    }
+    return counts;
+  };
+  auto pa = profile(a);
+  auto pb = profile(b);
+  uint64_t total_a = 0;
+  uint64_t total_b = 0;
+  uint64_t shared = 0;
+  for (const auto& [word, count] : pa) total_a += count;
+  for (const auto& [word, count] : pb) total_b += count;
+  for (const auto& [word, count] : pa) {
+    auto it = pb.find(word);
+    if (it != pb.end()) shared += std::min(count, it->second);
+  }
+  if (total_a + total_b == 0) return 1.0;
+  return 1.0 - 2.0 * static_cast<double>(shared) /
+                   static_cast<double>(total_a + total_b);
+}
+
+Result<std::map<std::string, uint64_t>> CodonUsage(const MRna& mrna) {
+  if (mrna.sequence.alphabet() != seq::Alphabet::kRna) {
+    return Status::InvalidArgument("codon usage expects mRNA");
+  }
+  GENALG_ASSIGN_OR_RETURN(const CodonTable* table,
+                          CodonTable::ByNcbiId(mrna.codon_table_id));
+  GENALG_ASSIGN_OR_RETURN(CodingRegion region,
+                          LocateCodingRegion(mrna.sequence, *table));
+  std::map<std::string, uint64_t> usage;
+  for (size_t pos = region.start; pos + 3 <= region.end; pos += 3) {
+    bool ambiguous = false;
+    std::string codon;
+    for (size_t i = 0; i < 3; ++i) {
+      BaseCode code = mrna.sequence.At(pos + i);
+      if (!seq::IsUnambiguousBase(code)) {
+        ambiguous = true;
+        break;
+      }
+      codon.push_back(seq::BaseToChar(code, seq::Alphabet::kRna));
+    }
+    if (!ambiguous) ++usage[codon];
+  }
+  return usage;
+}
+
+}  // namespace genalg::gdt

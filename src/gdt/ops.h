@@ -1,0 +1,146 @@
+#ifndef GENALG_GDT_OPS_H_
+#define GENALG_GDT_OPS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "gdt/entities.h"
+#include "seq/nucleotide_sequence.h"
+#include "seq/protein_sequence.h"
+
+namespace genalg::gdt {
+
+/// The genomic operations of the algebra (paper Sec. 4.2). Signatures
+/// mirror the paper's mini-algebra:
+///
+///   transcribe: gene -> primarytranscript
+///   splice:     primarytranscript -> mrna
+///   translate:  mrna -> protein
+///
+/// and their composition decode = translate . splice . transcribe.
+/// Each operation propagates the confidence of its input and *reduces* it
+/// when it must approximate — the paper's requirement that the algebra
+/// "not pretend correct results, which actually are vague" (Sec. 4.3).
+
+/// Copies the gene's coding strand into RNA. The exon structure and codon
+/// table travel with the transcript.
+Result<PrimaryTranscript> Transcribe(const Gene& gene);
+
+/// Removes introns by concatenating the exon intervals. If the transcript
+/// has no exon annotation the whole sequence is treated as one exon.
+///
+/// The cell's splicing mechanism is not computable (Sec. 4.3); we implement
+/// the biologists' working approximation — splice at the annotated exon
+/// boundaries — and encode the residual uncertainty: every intron whose
+/// boundaries are not the canonical GU...AG dinucleotides multiplies the
+/// result confidence by `kNonCanonicalIntronPenalty`.
+Result<MRna> Splice(const PrimaryTranscript& transcript);
+
+/// Confidence multiplier applied per non-canonical intron during Splice.
+inline constexpr double kNonCanonicalIntronPenalty = 0.9;
+
+/// Scans the mRNA for the first start codon of its genetic code and
+/// translates until the first stop codon (or the end of the message, which
+/// costs `kMissingStopPenalty` confidence). Ambiguous codons translate to
+/// 'X' when their expansions disagree; the result confidence is further
+/// multiplied by the fraction of unambiguously translated residues.
+/// Returns NotFound if the message contains no start codon.
+Result<Protein> Translate(const MRna& mrna);
+
+/// Confidence multiplier when translation runs off the message without a
+/// stop codon.
+inline constexpr double kMissingStopPenalty = 0.8;
+
+/// The composed operation translate(splice(transcribe(gene))) — the term
+/// the paper constructs in Sec. 4.2.
+Result<Protein> Decode(const Gene& gene);
+
+/// The `contains` predicate of Sec. 6.3: true iff `fragment` contains
+/// `pattern` (IUPAC-ambiguity-aware on both sides).
+bool Contains(const seq::NucleotideSequence& fragment,
+              const seq::NucleotideSequence& pattern);
+
+/// All (possibly overlapping) occurrences of `motif` in `subject`.
+std::vector<uint64_t> FindMotif(const seq::NucleotideSequence& subject,
+                                const seq::NucleotideSequence& motif);
+
+/// An open reading frame found by FindOrfs.
+struct Orf {
+  int frame = 1;        ///< +1..+3 forward, -1..-3 on the reverse strand.
+  uint64_t begin = 0;   ///< Start-codon offset on the frame's strand.
+  uint64_t end = 0;     ///< One past the stop codon on the frame's strand.
+  seq::ProteinSequence protein;  ///< Translation, without the stop marker.
+};
+
+/// Scans all six reading frames of a DNA sequence for ORFs (start codon to
+/// in-frame stop) encoding at least `min_codons` amino acids (stop
+/// excluded). ORFs are reported in (frame, begin) order.
+Result<std::vector<Orf>> FindOrfs(const seq::NucleotideSequence& dna,
+                                  size_t min_codons,
+                                  int codon_table_id = 1);
+
+/// A restriction endonuclease: recognition site and the cut offset within
+/// it (on the forward strand).
+struct RestrictionEnzyme {
+  std::string name;
+  std::string site;     ///< IUPAC pattern, e.g. "GAATTC".
+  size_t cut_offset;    ///< Cut before site_pos + cut_offset.
+};
+
+/// The built-in enzyme catalog (EcoRI, BamHI, HindIII, NotI, SmaI, TaqI).
+const std::vector<RestrictionEnzyme>& BuiltinEnzymes();
+
+/// Looks up a built-in enzyme by name (case-insensitive).
+Result<RestrictionEnzyme> EnzymeByName(std::string_view name);
+
+/// Cuts `dna` at every occurrence of the enzyme's site and returns the
+/// fragments in order. A sequence with no site yields one fragment.
+Result<std::vector<seq::NucleotideSequence>> Digest(
+    const seq::NucleotideSequence& dna, const RestrictionEnzyme& enzyme);
+
+/// Counts codon usage over the coding part of an mRNA (from the first
+/// start codon, stopping at the first stop). Keys are RNA codon strings
+/// ("AUG"); ambiguous codons are skipped.
+Result<std::map<std::string, uint64_t>> CodonUsage(const MRna& mrna);
+
+/// Oligo melting temperature (deg C): the Wallace rule 2(A+T) + 4(G+C)
+/// for oligos under 14 bases, the GC-fraction formula
+/// 64.9 + 41 * (GC*N - 16.4) / N otherwise. InvalidArgument for empty or
+/// ambiguous sequences (a Tm over an uncertain base would be fabricated
+/// precision — Sec. 4.3 again).
+Result<double> MeltingTemperatureCelsius(const seq::NucleotideSequence& dna);
+
+/// Reverse translation: a protein back to the *degenerate* DNA that could
+/// encode it under the genetic code — each codon position carries the
+/// IUPAC union of all codons for that residue, so the inherent ambiguity
+/// of the inverse mapping is explicit in the result (GCN for alanine,
+/// MGN|CGN-style unions for arginine, ...). 'X' maps to NNN; '*' to the
+/// union of stop codons. InvalidArgument for gaps.
+Result<seq::NucleotideSequence> ReverseTranslate(
+    const seq::ProteinSequence& protein, int codon_table_id = 1);
+
+/// Translates one fixed reading frame (+1..+3 forward, -1..-3 reverse
+/// complement) from its first base to the last full codon, with no
+/// start-codon scanning and stops rendered as '*'.
+Result<seq::ProteinSequence> TranslateFrame(
+    const seq::NucleotideSequence& dna, int frame, int codon_table_id = 1);
+
+/// The longest ORF over all six frames (NotFound if none reaches
+/// min_codons).
+Result<Orf> LongestOrf(const seq::NucleotideSequence& dna,
+                       size_t min_codons = 1, int codon_table_id = 1);
+
+/// Alignment-free distance between two sequences: Bray-Curtis
+/// dissimilarity of their k-mer multisets, in [0, 1] (0 = identical
+/// profiles, 1 = disjoint). InvalidArgument for k outside [2, 16] or
+/// sequences shorter than k.
+Result<double> KmerProfileDistance(const seq::NucleotideSequence& a,
+                                   const seq::NucleotideSequence& b,
+                                   size_t k = 4);
+
+}  // namespace genalg::gdt
+
+#endif  // GENALG_GDT_OPS_H_

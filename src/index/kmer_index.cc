@@ -1,0 +1,138 @@
+#include "index/kmer_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace genalg::index {
+
+namespace {
+
+// 2-bit code of an unambiguous base, or -1.
+int TwoBit(seq::BaseCode code) {
+  switch (code) {
+    case seq::kBaseA: return 0;
+    case seq::kBaseC: return 1;
+    case seq::kBaseG: return 2;
+    case seq::kBaseT: return 3;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+bool PackKmer(const seq::NucleotideSequence& sequence, size_t pos, size_t k,
+              uint64_t* out) {
+  if (k > 31 || pos + k > sequence.size()) return false;
+  uint64_t packed = 0;
+  for (size_t i = 0; i < k; ++i) {
+    int bits = TwoBit(sequence.At(pos + i));
+    if (bits < 0) return false;
+    packed = (packed << 2) | static_cast<uint64_t>(bits);
+  }
+  *out = packed;
+  return true;
+}
+
+Result<KmerIndex> KmerIndex::Build(
+    const std::vector<seq::NucleotideSequence>& corpus, size_t k) {
+  if (k < 4 || k > 31) {
+    return Status::InvalidArgument("k must be in [4, 31], got " +
+                                   std::to_string(k));
+  }
+  KmerIndex idx;
+  idx.k_ = k;
+  idx.doc_lengths_.reserve(corpus.size());
+  for (uint32_t doc = 0; doc < corpus.size(); ++doc) {
+    const seq::NucleotideSequence& s = corpus[doc];
+    idx.doc_lengths_.push_back(static_cast<uint32_t>(s.size()));
+    if (s.size() < k) continue;
+    for (size_t pos = 0; pos + k <= s.size(); ++pos) {
+      uint64_t packed;
+      if (!PackKmer(s, pos, k, &packed)) continue;
+      idx.postings_[packed].push_back(
+          Posting{doc, static_cast<uint32_t>(pos)});
+    }
+  }
+  return idx;
+}
+
+Result<std::vector<KmerIndex::Posting>> KmerIndex::Lookup(
+    std::string_view kmer) const {
+  if (kmer.size() != k_) {
+    return Status::InvalidArgument("k-mer length " +
+                                   std::to_string(kmer.size()) +
+                                   " does not match index k " +
+                                   std::to_string(k_));
+  }
+  auto seq = seq::NucleotideSequence::Dna(kmer);
+  if (!seq.ok()) return seq.status();
+  uint64_t packed;
+  if (!PackKmer(*seq, 0, k_, &packed)) {
+    return Status::InvalidArgument("k-mer contains ambiguous bases");
+  }
+  auto it = postings_.find(packed);
+  if (it == postings_.end()) return std::vector<Posting>{};
+  return it->second;
+}
+
+std::vector<KmerIndex::Candidate> KmerIndex::FindCandidates(
+    const seq::NucleotideSequence& query, uint32_t min_shared) const {
+  // doc -> (shared count, diagonal histogram).
+  std::map<uint32_t, std::map<int64_t, uint32_t>> hits;
+  for (size_t pos = 0; pos + k_ <= query.size(); ++pos) {
+    uint64_t packed;
+    if (!PackKmer(query, pos, k_, &packed)) continue;
+    auto it = postings_.find(packed);
+    if (it == postings_.end()) continue;
+    for (const Posting& p : it->second) {
+      ++hits[p.doc][static_cast<int64_t>(p.position) -
+                    static_cast<int64_t>(pos)];
+    }
+  }
+  std::vector<Candidate> out;
+  for (const auto& [doc, diagonals] : hits) {
+    Candidate c{doc, 0, 0};
+    uint32_t best_diag_count = 0;
+    for (const auto& [diag, count] : diagonals) {
+      c.shared_kmers += count;
+      if (count > best_diag_count) {
+        best_diag_count = count;
+        c.best_diagonal = diag;
+      }
+    }
+    if (c.shared_kmers >= min_shared) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.shared_kmers != b.shared_kmers
+                         ? a.shared_kmers > b.shared_kmers
+                         : a.doc < b.doc;
+            });
+  return out;
+}
+
+double KmerIndex::EstimateContainsSelectivity(size_t pattern_length) const {
+  if (doc_lengths_.empty()) return 0.0;
+  // P[pattern at a fixed position] = 4^-len under a uniform base model;
+  // expected matches per document ~= (len_doc - len_pat + 1) * 4^-len_pat,
+  // and P[>=1 occurrence] ~= 1 - exp(-expected).
+  double log4 = std::log(4.0);
+  double sum = 0.0;
+  for (uint32_t len : doc_lengths_) {
+    if (len < pattern_length) continue;
+    double positions = static_cast<double>(len - pattern_length + 1);
+    double expected =
+        positions * std::exp(-static_cast<double>(pattern_length) * log4);
+    sum += 1.0 - std::exp(-expected);
+  }
+  return sum / static_cast<double>(doc_lengths_.size());
+}
+
+size_t KmerIndex::TotalPostings() const {
+  size_t total = 0;
+  for (const auto& [kmer, list] : postings_) total += list.size();
+  return total;
+}
+
+}  // namespace genalg::index

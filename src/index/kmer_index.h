@@ -1,0 +1,79 @@
+#ifndef GENALG_INDEX_KMER_INDEX_H_
+#define GENALG_INDEX_KMER_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "seq/nucleotide_sequence.h"
+
+namespace genalg::index {
+
+/// An inverted index from k-mers to (document, position) postings over a
+/// corpus of sequences — the seeded-similarity index of Sec. 6.5, used by
+/// the Unifying Database for `resembles` predicates (seed, then extend
+/// with a banded alignment) and by the warehouse integrator for candidate
+/// entity matching.
+///
+/// Only unambiguous k-mers (pure A/C/G/T windows) are indexed; ambiguous
+/// windows are skipped, which makes lookups conservative: a hit is always
+/// real, a miss may still align (handled by the caller's fallback).
+class KmerIndex {
+ public:
+  /// A posting: document `doc` contains the k-mer at `position`.
+  struct Posting {
+    uint32_t doc;
+    uint32_t position;
+  };
+
+  /// A candidate document with its shared-seed statistics.
+  struct Candidate {
+    uint32_t doc;
+    uint32_t shared_kmers;      ///< Number of query k-mers found in doc.
+    int64_t best_diagonal;      ///< Most common (doc_pos - query_pos).
+  };
+
+  /// Builds an index with word length k in [4, 31].
+  static Result<KmerIndex> Build(
+      const std::vector<seq::NucleotideSequence>& corpus, size_t k);
+
+  size_t k() const { return k_; }
+  size_t corpus_size() const { return doc_lengths_.size(); }
+
+  /// All postings of one exact k-mer (by string, e.g. "ACGTACGT");
+  /// InvalidArgument if the word length differs from k or is ambiguous.
+  Result<std::vector<Posting>> Lookup(std::string_view kmer) const;
+
+  /// Ranks corpus documents by the number of query k-mers they share,
+  /// dropping documents below `min_shared`. Candidates are sorted by
+  /// descending shared_kmers. The dominant diagonal per candidate enables
+  /// a subsequent banded alignment.
+  std::vector<Candidate> FindCandidates(
+      const seq::NucleotideSequence& query, uint32_t min_shared = 1) const;
+
+  /// Estimated fraction of corpus documents containing a random pattern of
+  /// the given length; used by the query optimizer to cost `contains`
+  /// predicates (Sec. 6.5 "selectivity of genomic predicates").
+  double EstimateContainsSelectivity(size_t pattern_length) const;
+
+  /// Total number of postings stored.
+  size_t TotalPostings() const;
+
+ private:
+  KmerIndex() = default;
+
+  size_t k_ = 0;
+  std::vector<uint32_t> doc_lengths_;
+  std::unordered_map<uint64_t, std::vector<Posting>> postings_;
+};
+
+/// Packs an unambiguous A/C/G/T window into 2 bits per base. Returns false
+/// if any base is ambiguous or k > 31.
+bool PackKmer(const seq::NucleotideSequence& sequence, size_t pos, size_t k,
+              uint64_t* out);
+
+}  // namespace genalg::index
+
+#endif  // GENALG_INDEX_KMER_INDEX_H_

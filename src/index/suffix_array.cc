@@ -1,0 +1,109 @@
+#include "index/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace genalg::index {
+
+SuffixArray SuffixArray::Build(std::string text) {
+  SuffixArray out;
+  out.text_ = std::move(text);
+  const std::string& t = out.text_;
+  const size_t n = t.size();
+  out.sa_.resize(n);
+  std::iota(out.sa_.begin(), out.sa_.end(), 0);
+  if (n == 0) return out;
+
+  // Prefix doubling: rank[i] is the rank of suffix i by its first k chars.
+  std::vector<uint32_t> rank(n), tmp(n);
+  for (size_t i = 0; i < n; ++i) {
+    rank[i] = static_cast<uint8_t>(t[i]);
+  }
+  for (size_t k = 1;; k <<= 1) {
+    auto cmp = [&](uint32_t a, uint32_t b) {
+      if (rank[a] != rank[b]) return rank[a] < rank[b];
+      uint32_t ra = a + k < n ? rank[a + k] + 1 : 0;
+      uint32_t rb = b + k < n ? rank[b + k] + 1 : 0;
+      return ra < rb;
+    };
+    std::sort(out.sa_.begin(), out.sa_.end(), cmp);
+    tmp[out.sa_[0]] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      tmp[out.sa_[i]] =
+          tmp[out.sa_[i - 1]] + (cmp(out.sa_[i - 1], out.sa_[i]) ? 1 : 0);
+    }
+    rank.swap(tmp);
+    if (rank[out.sa_[n - 1]] == n - 1) break;
+  }
+
+  // Kasai's LCP construction.
+  out.lcp_.assign(n, 0);
+  std::vector<uint32_t> inv(n);
+  for (size_t i = 0; i < n; ++i) inv[out.sa_[i]] = static_cast<uint32_t>(i);
+  size_t h = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (inv[i] == 0) {
+      h = 0;
+      continue;
+    }
+    size_t j = out.sa_[inv[i] - 1];
+    while (i + h < n && j + h < n && t[i + h] == t[j + h]) ++h;
+    out.lcp_[inv[i]] = static_cast<uint32_t>(h);
+    if (h > 0) --h;
+  }
+  return out;
+}
+
+std::pair<size_t, size_t> SuffixArray::EqualRange(
+    std::string_view pattern) const {
+  // The truncated-suffix vs pattern comparison is monotone over the sorted
+  // suffixes, so both range ends are binary searches.
+  size_t lo = std::partition_point(sa_.begin(), sa_.end(),
+                                   [&](uint32_t suffix) {
+                                     return text_.compare(suffix,
+                                                          pattern.size(),
+                                                          pattern) < 0;
+                                   }) -
+              sa_.begin();
+  size_t hi = std::partition_point(sa_.begin(), sa_.end(),
+                                   [&](uint32_t suffix) {
+                                     return text_.compare(suffix,
+                                                          pattern.size(),
+                                                          pattern) <= 0;
+                                   }) -
+              sa_.begin();
+  return {lo, hi};
+}
+
+bool SuffixArray::Contains(std::string_view pattern) const {
+  auto [lo, hi] = EqualRange(pattern);
+  return lo < hi || pattern.empty();
+}
+
+std::vector<uint64_t> SuffixArray::FindAll(std::string_view pattern) const {
+  std::vector<uint64_t> out;
+  if (pattern.empty()) {
+    out.resize(text_.size());
+    std::iota(out.begin(), out.end(), 0);
+    return out;
+  }
+  auto [lo, hi] = EqualRange(pattern);
+  out.reserve(hi - lo);
+  for (size_t r = lo; r < hi; ++r) out.push_back(sa_[r]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t SuffixArray::CountOccurrences(std::string_view pattern) const {
+  if (pattern.empty()) return text_.size();
+  auto [lo, hi] = EqualRange(pattern);
+  return hi - lo;
+}
+
+size_t SuffixArray::LongestRepeatedSubstring() const {
+  uint32_t best = 0;
+  for (uint32_t v : lcp_) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace genalg::index

@@ -1,0 +1,72 @@
+#ifndef GENALG_INDEX_SUFFIX_ARRAY_H_
+#define GENALG_INDEX_SUFFIX_ARRAY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "seq/nucleotide_sequence.h"
+
+namespace genalg::index {
+
+/// A suffix array over one text, supporting O(|p| log |t|) substring
+/// search. This is one of the two "genomic index structures" the paper
+/// calls for (Sec. 6.5) to accelerate substructure search on nucleotide
+/// sequences; the Unifying Database's optimizer routes `contains`
+/// predicates through it when one has been declared on a column.
+///
+/// Matching is exact over the rendered IUPAC characters; ambiguity-aware
+/// matching (pattern 'N' etc.) falls back to the sequence scan, which the
+/// optimizer costs accordingly.
+class SuffixArray {
+ public:
+  /// Builds the index; O(n log^2 n) (prefix-doubling) plus O(n) (Kasai)
+  /// for the LCP table.
+  static SuffixArray Build(std::string text);
+
+  /// Builds over a nucleotide sequence's character rendering.
+  static SuffixArray Build(const seq::NucleotideSequence& sequence) {
+    return Build(sequence.ToString());
+  }
+
+  const std::string& text() const { return text_; }
+  size_t size() const { return text_.size(); }
+
+  /// The suffix-array permutation: sa()[r] is the start position of the
+  /// r-th smallest suffix.
+  const std::vector<uint32_t>& sa() const { return sa_; }
+
+  /// LCP table: lcp()[r] is the longest common prefix length between the
+  /// suffixes of rank r and r-1 (lcp()[0] == 0).
+  const std::vector<uint32_t>& lcp() const { return lcp_; }
+
+  /// True iff the pattern occurs at least once.
+  bool Contains(std::string_view pattern) const;
+
+  /// All start positions of the pattern, sorted ascending. The empty
+  /// pattern yields every position.
+  std::vector<uint64_t> FindAll(std::string_view pattern) const;
+
+  /// Number of occurrences without materializing the positions.
+  size_t CountOccurrences(std::string_view pattern) const;
+
+  /// Length of the longest substring that occurs at least twice
+  /// (max of the LCP table).
+  size_t LongestRepeatedSubstring() const;
+
+ private:
+  SuffixArray() = default;
+
+  // Returns the [lo, hi) rank range of suffixes starting with pattern.
+  std::pair<size_t, size_t> EqualRange(std::string_view pattern) const;
+
+  std::string text_;
+  std::vector<uint32_t> sa_;
+  std::vector<uint32_t> lcp_;
+};
+
+}  // namespace genalg::index
+
+#endif  // GENALG_INDEX_SUFFIX_ARRAY_H_

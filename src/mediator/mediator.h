@@ -1,0 +1,101 @@
+#ifndef GENALG_MEDIATOR_MEDIATOR_H_
+#define GENALG_MEDIATOR_MEDIATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "etl/source.h"
+#include "formats/record.h"
+#include "seq/nucleotide_sequence.h"
+
+namespace genalg::mediator {
+
+/// A source-specific data driver (wrapper) of Figure 1: extracts data
+/// from one live repository through whatever interface its capability
+/// class offers. Extraction happens *per query* — nothing is cached or
+/// materialized, which is precisely what distinguishes the query-driven
+/// architecture from the Unifying Database.
+class SourceWrapper {
+ public:
+  explicit SourceWrapper(etl::SyntheticSource* source) : source_(source) {}
+
+  const std::string& name() const { return source_->name(); }
+
+  /// Ships the source's entire current content to the middleware
+  /// (queryable sources enumerate + fetch; others are snapshot-parsed).
+  Result<std::vector<formats::SequenceRecord>> ExtractAll();
+
+  /// Fetches a single entry if the source can answer point queries;
+  /// otherwise falls back to a full extract and filters.
+  Result<std::optional<formats::SequenceRecord>> FindByAccession(
+      const std::string& accession);
+
+  /// Records shipped from the source into the middleware so far — the
+  /// data-movement cost the paper's Sec. 3 critique targets.
+  uint64_t records_shipped() const { return records_shipped_; }
+
+ private:
+  etl::SyntheticSource* source_;
+  uint64_t records_shipped_ = 0;
+};
+
+/// The query-driven integration system of Figure 1 (the SRS / K2/Kleisli
+/// / DiscoveryLink / TAMBIS architecture class): queries are decomposed
+/// over per-source wrappers, the extracted data is shipped to the
+/// middleware, and results are merged there *without reconciliation* —
+/// two sources disagreeing about an accession both appear in the output
+/// (problem C8, which Table 1 records for this class).
+class Mediator {
+ public:
+  Mediator() = default;
+
+  void AddSource(etl::SyntheticSource* source) {
+    wrappers_.emplace_back(source);
+  }
+
+  size_t source_count() const { return wrappers_.size(); }
+
+  /// All entries of the given organism, across sources, in shipping order.
+  /// Duplicates across sources are NOT merged.
+  Result<std::vector<formats::SequenceRecord>> FindByOrganism(
+      const std::string& organism);
+
+  /// All entries whose sequence contains the pattern.
+  Result<std::vector<formats::SequenceRecord>> FindContaining(
+      const seq::NucleotideSequence& pattern);
+
+  /// A similarity hit from the wrapped alignment "program source".
+  struct SimilarityHit {
+    formats::SequenceRecord record;
+    double identity;
+    int64_t score;
+  };
+
+  /// Entries resembling the query (local alignment over every shipped
+  /// record — the BLAST-as-a-source pattern of Sec. 3).
+  Result<std::vector<SimilarityHit>> SimilarTo(
+      const seq::NucleotideSequence& query, double min_identity = 0.8,
+      size_t min_overlap = 16);
+
+  /// The *first* source's version of an accession — the mediator cannot
+  /// decide between conflicting copies (C8/C9).
+  Result<formats::SequenceRecord> GetByAccession(
+      const std::string& accession);
+
+  /// All versions of an accession across sources (exposes conflicts to
+  /// the caller instead of resolving them).
+  Result<std::vector<formats::SequenceRecord>> GetAllVersions(
+      const std::string& accession);
+
+  /// Total records shipped across all wrappers.
+  uint64_t total_records_shipped() const;
+
+ private:
+  std::vector<SourceWrapper> wrappers_;
+};
+
+}  // namespace genalg::mediator
+
+#endif  // GENALG_MEDIATOR_MEDIATOR_H_

@@ -1,0 +1,347 @@
+#include "ontology/ontology.h"
+
+#include <deque>
+
+#include "base/strings.h"
+
+namespace genalg::ontology {
+
+Status Ontology::AddTerm(TermDef term) {
+  if (term.id.empty() || term.label.empty()) {
+    return Status::InvalidArgument("term needs id and label");
+  }
+  if (terms_.count(term.id) != 0) {
+    return Status::AlreadyExists("term id '" + term.id +
+                                 "' already defined");
+  }
+  // A (label, context) pair must be unique.
+  std::string key = ToLowerAscii(term.label);
+  auto it = name_index_.find(key);
+  if (it != name_index_.end()) {
+    for (const std::string& other_id : it->second) {
+      const TermDef& other = terms_.at(other_id);
+      if (EqualsIgnoreCase(other.label, term.label) &&
+          other.context == term.context) {
+        return Status::AlreadyExists("label '" + term.label +
+                                     "' already defined in context '" +
+                                     term.context + "'");
+      }
+    }
+  }
+  name_index_[key].insert(term.id);
+  for (const std::string& syn : term.synonyms) {
+    name_index_[ToLowerAscii(syn)].insert(term.id);
+  }
+  std::string id = term.id;
+  terms_.emplace(std::move(id), std::move(term));
+  return Status::OK();
+}
+
+Status Ontology::AddSynonym(std::string_view term_id, std::string synonym) {
+  auto it = terms_.find(term_id);
+  if (it == terms_.end()) {
+    return Status::NotFound("no term '" + std::string(term_id) + "'");
+  }
+  name_index_[ToLowerAscii(synonym)].insert(it->second.id);
+  it->second.synonyms.push_back(std::move(synonym));
+  return Status::OK();
+}
+
+bool Ontology::WouldCreateCycle(const std::string& child,
+                                const std::string& parent,
+                                Relation relation) const {
+  if (child == parent) return true;
+  // Cycle iff child is already reachable from parent.
+  auto rel_it = edges_.find(relation);
+  if (rel_it == edges_.end()) return false;
+  std::deque<std::string> frontier{parent};
+  std::set<std::string> seen;
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    if (cur == child) return true;
+    if (!seen.insert(cur).second) continue;
+    auto edge_it = rel_it->second.find(cur);
+    if (edge_it == rel_it->second.end()) continue;
+    for (const std::string& next : edge_it->second) {
+      frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+Status Ontology::Relate(std::string_view child_id,
+                        std::string_view parent_id, Relation relation) {
+  if (terms_.find(child_id) == terms_.end()) {
+    return Status::NotFound("no term '" + std::string(child_id) + "'");
+  }
+  if (terms_.find(parent_id) == terms_.end()) {
+    return Status::NotFound("no term '" + std::string(parent_id) + "'");
+  }
+  std::string child(child_id);
+  std::string parent(parent_id);
+  if (WouldCreateCycle(child, parent, relation)) {
+    return Status::InvalidArgument("edge " + child + " -> " + parent +
+                                   " would create a cycle");
+  }
+  edges_[relation][child].insert(parent);
+  return Status::OK();
+}
+
+Result<const TermDef*> Ontology::TermById(std::string_view id) const {
+  auto it = terms_.find(id);
+  if (it == terms_.end()) {
+    return Status::NotFound("no term '" + std::string(id) + "'");
+  }
+  return &it->second;
+}
+
+Result<const TermDef*> Ontology::Resolve(std::string_view name) const {
+  auto it = name_index_.find(ToLowerAscii(name));
+  if (it == name_index_.end() || it->second.empty()) {
+    return Status::NotFound("no term named '" + std::string(name) + "'");
+  }
+  if (it->second.size() > 1) {
+    std::string contexts;
+    for (const std::string& id : it->second) {
+      if (!contexts.empty()) contexts += ", ";
+      contexts += terms_.at(id).context + " (" + id + ")";
+    }
+    return Status::FailedPrecondition(
+        "'" + std::string(name) + "' is ambiguous across contexts: " +
+        contexts + "; resolve with an explicit context");
+  }
+  return &terms_.at(*it->second.begin());
+}
+
+Result<const TermDef*> Ontology::ResolveInContext(
+    std::string_view name, std::string_view context) const {
+  auto it = name_index_.find(ToLowerAscii(name));
+  if (it == name_index_.end()) {
+    return Status::NotFound("no term named '" + std::string(name) + "'");
+  }
+  for (const std::string& id : it->second) {
+    if (terms_.at(id).context == context) return &terms_.at(id);
+  }
+  return Status::NotFound("no term named '" + std::string(name) +
+                          "' in context '" + std::string(context) + "'");
+}
+
+Result<std::set<std::string>> Ontology::Ancestors(std::string_view id,
+                                                  Relation relation) const {
+  if (terms_.find(id) == terms_.end()) {
+    return Status::NotFound("no term '" + std::string(id) + "'");
+  }
+  std::set<std::string> out;
+  auto rel_it = edges_.find(relation);
+  if (rel_it == edges_.end()) return out;
+  std::deque<std::string> frontier{std::string(id)};
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    auto edge_it = rel_it->second.find(cur);
+    if (edge_it == rel_it->second.end()) continue;
+    for (const std::string& parent : edge_it->second) {
+      if (out.insert(parent).second) frontier.push_back(parent);
+    }
+  }
+  return out;
+}
+
+Result<bool> Ontology::IsA(std::string_view a, std::string_view b) const {
+  GENALG_ASSIGN_OR_RETURN(std::set<std::string> ancestors,
+                          Ancestors(a, Relation::kIsA));
+  if (terms_.find(b) == terms_.end()) {
+    return Status::NotFound("no term '" + std::string(b) + "'");
+  }
+  return ancestors.count(std::string(b)) > 0;
+}
+
+Status Ontology::MapToSort(std::string_view term_id, std::string sort_name) {
+  if (terms_.find(term_id) == terms_.end()) {
+    return Status::NotFound("no term '" + std::string(term_id) + "'");
+  }
+  sort_bindings_[std::string(term_id)] = std::move(sort_name);
+  return Status::OK();
+}
+
+Status Ontology::MapToOperator(std::string_view term_id,
+                               std::string op_name) {
+  if (terms_.find(term_id) == terms_.end()) {
+    return Status::NotFound("no term '" + std::string(term_id) + "'");
+  }
+  op_bindings_[std::string(term_id)] = std::move(op_name);
+  return Status::OK();
+}
+
+Result<std::string> Ontology::SortOf(std::string_view term_id) const {
+  auto it = sort_bindings_.find(term_id);
+  if (it == sort_bindings_.end()) {
+    return Status::NotFound("term '" + std::string(term_id) +
+                            "' is not mapped to a sort");
+  }
+  return it->second;
+}
+
+Result<std::string> Ontology::OperatorOf(std::string_view term_id) const {
+  auto it = op_bindings_.find(term_id);
+  if (it == op_bindings_.end()) {
+    return Status::NotFound("term '" + std::string(term_id) +
+                            "' is not mapped to an operator");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Ontology::UnrealizedTerms(
+    const algebra::SignatureRegistry& registry) const {
+  std::vector<std::string> out;
+  for (const auto& [term_id, sort] : sort_bindings_) {
+    if (!registry.HasSort(sort)) out.push_back(term_id);
+  }
+  for (const auto& [term_id, op] : op_bindings_) {
+    if (registry.OverloadsOf(op).empty()) out.push_back(term_id);
+  }
+  return out;
+}
+
+std::vector<const TermDef*> Ontology::ListTerms() const {
+  std::vector<const TermDef*> out;
+  out.reserve(terms_.size());
+  for (const auto& [id, term] : terms_) out.push_back(&term);
+  return out;
+}
+
+Result<Ontology> BuildCoreGenomicsOntology() {
+  Ontology onto;
+  struct Entry {
+    const char* id;
+    const char* label;
+    const char* context;
+    const char* definition;
+    std::vector<std::string> synonyms;
+  };
+  const std::vector<Entry> entries = {
+      {"GA:0001", "nucleotide sequence", "molecular",
+       "A linear polymer of nucleotides (DNA or RNA).",
+       {"sequence", "nucleic acid sequence"}},
+      {"GA:0002", "gene", "molecular",
+       "A genomic region encoding a functional product.",
+       {"locus", "coding region"}},
+      {"GA:0003", "gene", "population",
+       "A heritable unit of selection in population genetics.",
+       {}},
+      {"GA:0004", "primary transcript", "molecular",
+       "The unspliced RNA copy of a gene.",
+       {"pre-mRNA", "hnRNA"}},
+      {"GA:0005", "messenger RNA", "molecular",
+       "A spliced, translatable RNA message.",
+       {"mRNA", "message"}},
+      {"GA:0006", "protein", "molecular",
+       "A polypeptide chain of amino acids.",
+       {"polypeptide"}},
+      {"GA:0007", "chromosome", "molecular",
+       "A single long DNA molecule with its annotations.",
+       {}},
+      {"GA:0008", "genome", "molecular",
+       "The complete genetic material of an organism.",
+       {}},
+      {"GA:0009", "exon", "molecular",
+       "A transcript segment retained after splicing.",
+       {}},
+      {"GA:0010", "intron", "molecular",
+       "A transcript segment removed by splicing.",
+       {"intervening sequence"}},
+      {"GA:0011", "codon", "molecular",
+       "A triplet of bases encoding one amino acid.",
+       {}},
+      {"GA:0012", "open reading frame", "molecular",
+       "A start-to-stop stretch of codons.",
+       {"ORF"}},
+      {"GA:0013", "transcription", "process",
+       "Synthesis of RNA from a DNA template.",
+       {}},
+      {"GA:0014", "splicing", "process",
+       "Removal of introns from a primary transcript.",
+       {}},
+      {"GA:0015", "translation", "process",
+       "Synthesis of protein from an mRNA message.",
+       {}},
+      {"GA:0016", "reverse complement", "process",
+       "The complementary sequence read in reverse.",
+       {"revcomp"}},
+      {"GA:0017", "GC content", "measure",
+       "Fraction of guanine/cytosine bases.",
+       {"G+C content"}},
+      {"GA:0018", "sequence similarity", "measure",
+       "Alignment-based relatedness of two sequences.",
+       {"homology search", "resemblance"}},
+      {"GA:0019", "restriction digest", "process",
+       "Cutting DNA at enzyme recognition sites.",
+       {}},
+      {"GA:0020", "sequence motif", "molecular",
+       "A short recurring sequence pattern.",
+       {"motif", "pattern"}},
+      {"GA:0021", "DNA", "molecular",
+       "Deoxyribonucleic acid.",
+       {"deoxyribonucleic acid"}},
+      {"GA:0022", "RNA", "molecular",
+       "Ribonucleic acid.",
+       {"ribonucleic acid"}},
+      {"GA:0023", "protein folding", "process",
+       "Formation of tertiary structure; not computable today.",
+       {"fold"}},
+      {"GA:0024", "molecular weight", "measure",
+       "Mass of a molecule in daltons.",
+       {"MW"}},
+      {"GA:0025", "genetic code", "molecular",
+       "The codon-to-amino-acid mapping of an organism/organelle.",
+       {"codon table", "translation table"}},
+  };
+  for (const Entry& e : entries) {
+    GENALG_RETURN_IF_ERROR(onto.AddTerm(
+        TermDef{e.id, e.label, e.context, e.definition, e.synonyms}));
+  }
+
+  // Taxonomy (is-a) and composition (part-of).
+  GENALG_RETURN_IF_ERROR(onto.Relate("GA:0021", "GA:0001", Relation::kIsA));
+  GENALG_RETURN_IF_ERROR(onto.Relate("GA:0022", "GA:0001", Relation::kIsA));
+  GENALG_RETURN_IF_ERROR(onto.Relate("GA:0004", "GA:0022", Relation::kIsA));
+  GENALG_RETURN_IF_ERROR(onto.Relate("GA:0005", "GA:0022", Relation::kIsA));
+  GENALG_RETURN_IF_ERROR(onto.Relate("GA:0012", "GA:0001", Relation::kIsA));
+  GENALG_RETURN_IF_ERROR(onto.Relate("GA:0020", "GA:0001", Relation::kIsA));
+  GENALG_RETURN_IF_ERROR(
+      onto.Relate("GA:0002", "GA:0007", Relation::kPartOf));
+  GENALG_RETURN_IF_ERROR(
+      onto.Relate("GA:0007", "GA:0008", Relation::kPartOf));
+  GENALG_RETURN_IF_ERROR(
+      onto.Relate("GA:0009", "GA:0004", Relation::kPartOf));
+  GENALG_RETURN_IF_ERROR(
+      onto.Relate("GA:0010", "GA:0004", Relation::kPartOf));
+  GENALG_RETURN_IF_ERROR(
+      onto.Relate("GA:0011", "GA:0005", Relation::kPartOf));
+
+  // The derivation step (Sec. 4.2): entity terms map to sorts, process /
+  // measure terms map to operators.
+  GENALG_RETURN_IF_ERROR(onto.MapToSort("GA:0001", "nucseq"));
+  GENALG_RETURN_IF_ERROR(onto.MapToSort("GA:0002", "gene"));
+  GENALG_RETURN_IF_ERROR(onto.MapToSort("GA:0004", "primarytranscript"));
+  GENALG_RETURN_IF_ERROR(onto.MapToSort("GA:0005", "mrna"));
+  GENALG_RETURN_IF_ERROR(onto.MapToSort("GA:0006", "protein"));
+  GENALG_RETURN_IF_ERROR(onto.MapToSort("GA:0021", "nucseq"));
+  GENALG_RETURN_IF_ERROR(onto.MapToSort("GA:0022", "nucseq"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0013", "transcribe"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0014", "splice"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0015", "translate"));
+  GENALG_RETURN_IF_ERROR(
+      onto.MapToOperator("GA:0016", "reverse_complement"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0017", "gc_content"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0018", "resembles"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0019", "digest_count"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0020", "count_motif"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0023", "fold"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0024", "molecular_weight"));
+  GENALG_RETURN_IF_ERROR(onto.MapToOperator("GA:0012", "orf_count"));
+  return onto;
+}
+
+}  // namespace genalg::ontology

@@ -1,0 +1,126 @@
+#ifndef GENALG_ONTOLOGY_ONTOLOGY_H_
+#define GENALG_ONTOLOGY_ONTOLOGY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algebra/signature.h"
+#include "base/result.h"
+#include "base/status.h"
+
+namespace genalg::ontology {
+
+/// Relationship kinds between ontology terms.
+enum class Relation {
+  kIsA,     ///< Specialization: "mRNA is-a RNA".
+  kPartOf,  ///< Composition: "exon part-of gene".
+};
+
+/// One term of the controlled vocabulary (Sec. 4.1). Terms have a unique
+/// id; the human label need *not* be globally unique — homonyms across
+/// biological contexts are real ("the notion of gene ... is ambiguous")
+/// and are resolved by the `context` tag, implementing the paper's rule
+/// that "the only solution is to coin a new, appropriate, and unique term
+/// for each context".
+struct TermDef {
+  std::string id;          ///< Unique, e.g. "GA:0001".
+  std::string label;       ///< Preferred name, e.g. "gene".
+  std::string context;     ///< Disambiguation scope, e.g. "molecular".
+  std::string definition;  ///< One-sentence meaning.
+  std::vector<std::string> synonyms;  ///< Aliases seen in repositories.
+};
+
+/// The ontology for molecular biology and bioinformatics: the
+/// "specification of a conceptualization" the Genomics Algebra is derived
+/// from. It resolves repository terminology (synonyms, homonyms) to unique
+/// term ids, organizes terms in an is-a / part-of DAG, and records which
+/// algebra sort or operator realizes each term — the formal bridge of
+/// Sec. 4.2 ("entity types and functions in the ontology are represented
+/// directly using the appropriate data types and operations").
+class Ontology {
+ public:
+  Ontology() = default;
+
+  /// Adds a term; AlreadyExists on duplicate id, and also when the same
+  /// (label, context) pair is redefined — a label may repeat only across
+  /// distinct contexts.
+  Status AddTerm(TermDef term);
+
+  /// Adds an alias to an existing term.
+  Status AddSynonym(std::string_view term_id, std::string synonym);
+
+  /// Records `child` RELATION `parent`; both must exist, and the edge must
+  /// keep the graph acyclic (InvalidArgument otherwise).
+  Status Relate(std::string_view child_id, std::string_view parent_id,
+                Relation relation);
+
+  /// Looks up by unique id.
+  Result<const TermDef*> TermById(std::string_view id) const;
+
+  /// Resolves a label or synonym (case-insensitive). If exactly one term
+  /// matches, returns it. If several contexts share the name, returns
+  /// FailedPrecondition listing the candidate contexts — the caller must
+  /// disambiguate, never guess (C8/C9).
+  Result<const TermDef*> Resolve(std::string_view name) const;
+
+  /// Resolves a label or synonym within one context.
+  Result<const TermDef*> ResolveInContext(std::string_view name,
+                                          std::string_view context) const;
+
+  /// All ancestor term ids reachable over the given relation (transitive,
+  /// excluding the term itself).
+  Result<std::set<std::string>> Ancestors(std::string_view id,
+                                          Relation relation) const;
+
+  /// True iff `a` is (transitively) related to `b` via is-a.
+  Result<bool> IsA(std::string_view a, std::string_view b) const;
+
+  /// Binds a term to the algebra sort realizing it.
+  Status MapToSort(std::string_view term_id, std::string sort_name);
+
+  /// Binds a term to the algebra operator realizing it.
+  Status MapToOperator(std::string_view term_id, std::string op_name);
+
+  /// The sort mapped to a term (NotFound if unmapped).
+  Result<std::string> SortOf(std::string_view term_id) const;
+
+  /// The operator mapped to a term (NotFound if unmapped).
+  Result<std::string> OperatorOf(std::string_view term_id) const;
+
+  /// Verifies every mapping against a registry: returns the list of term
+  /// ids whose mapped sort/operator is missing from the algebra (empty
+  /// means the algebra fully realizes the ontology).
+  std::vector<std::string> UnrealizedTerms(
+      const algebra::SignatureRegistry& registry) const;
+
+  size_t term_count() const { return terms_.size(); }
+
+  /// All terms, ordered by id.
+  std::vector<const TermDef*> ListTerms() const;
+
+ private:
+  bool WouldCreateCycle(const std::string& child,
+                        const std::string& parent, Relation relation) const;
+
+  std::map<std::string, TermDef, std::less<>> terms_;
+  // Lowercased name -> term ids carrying it (label or synonym).
+  std::map<std::string, std::set<std::string>, std::less<>> name_index_;
+  // relation -> child id -> parent ids.
+  std::map<Relation, std::map<std::string, std::set<std::string>>> edges_;
+  std::map<std::string, std::string, std::less<>> sort_bindings_;
+  std::map<std::string, std::string, std::less<>> op_bindings_;
+};
+
+/// Builds the core genomics ontology shipped with the library: ~30 terms
+/// covering the central dogma, sequence entities, and the operations the
+/// standard algebra implements, with repository synonyms and one worked
+/// homonym ("gene" in the molecular vs population-genetics sense). Every
+/// term is mapped onto the standard algebra.
+Result<Ontology> BuildCoreGenomicsOntology();
+
+}  // namespace genalg::ontology
+
+#endif  // GENALG_ONTOLOGY_ONTOLOGY_H_

@@ -1,0 +1,176 @@
+#include "seq/codon_table.h"
+
+#include <map>
+#include <memory>
+
+#include "base/status.h"
+
+namespace genalg::seq {
+
+namespace {
+
+// TCAG index of an unambiguous base code, or -1.
+int BaseIndex(BaseCode code) {
+  switch (code) {
+    case kBaseT: return 0;
+    case kBaseC: return 1;
+    case kBaseA: return 2;
+    case kBaseG: return 3;
+    default: return -1;
+  }
+}
+
+BaseCode IndexToBase(int idx) {
+  static constexpr BaseCode kBases[4] = {kBaseT, kBaseC, kBaseA, kBaseG};
+  return kBases[idx];
+}
+
+}  // namespace
+
+// Grants the registry access to CodonTable's private constructor/fields.
+class CodonTableRegistryAccess {
+ public:
+  static std::unique_ptr<CodonTable> Make(int id, std::string name,
+                                          std::string_view aas,
+                                          const bool (&starts)[64]) {
+    auto t = std::unique_ptr<CodonTable>(new CodonTable());
+    t->ncbi_id_ = id;
+    t->name_ = std::move(name);
+    for (int i = 0; i < 64; ++i) {
+      t->amino_acids_[i] = aas[i];
+      t->is_start_[i] = starts[i];
+    }
+    return t;
+  }
+};
+
+namespace {
+
+// The registry is a leaked function-local singleton (trivially destructible
+// global state, per style guide).
+std::map<int, std::unique_ptr<CodonTable>>& Registry() {
+  static auto& registry = *new std::map<int, std::unique_ptr<CodonTable>>();
+  return registry;
+}
+
+Status RegisterInternal(int ncbi_id, std::string name,
+                        std::string_view amino_acids,
+                        const std::vector<std::string>& start_codons) {
+  if (amino_acids.size() != 64) {
+    return Status::InvalidArgument("codon table needs exactly 64 entries");
+  }
+  for (char c : amino_acids) {
+    if (!IsAminoAcidChar(c)) {
+      return Status::InvalidArgument(
+          std::string("invalid amino acid '") + c + "' in codon table");
+    }
+  }
+  bool starts[64] = {};
+  for (const std::string& codon : start_codons) {
+    if (codon.size() != 3) {
+      return Status::InvalidArgument("start codon must have 3 bases: " +
+                                     codon);
+    }
+    int idx = 0;
+    for (int i = 0; i < 3; ++i) {
+      BaseCode code;
+      if (!CharToBase(codon[i], &code)) {
+        return Status::InvalidArgument("invalid base in start codon " +
+                                       codon);
+      }
+      int b = BaseIndex(code);
+      if (b < 0) {
+        return Status::InvalidArgument("ambiguous start codon " + codon);
+      }
+      idx = idx * 4 + b;
+    }
+    starts[idx] = true;
+  }
+  auto& registry = Registry();
+  if (registry.count(ncbi_id) != 0) {
+    return Status::AlreadyExists("codon table " + std::to_string(ncbi_id) +
+                                 " already registered");
+  }
+  registry.emplace(ncbi_id, CodonTableRegistryAccess::Make(
+                                ncbi_id, std::move(name), amino_acids,
+                                starts));
+  return Status::OK();
+}
+
+// NCBI translation tables, 64 characters in TCAG order.
+void EnsureBuiltins() {
+  static const bool done = [] {
+    RegisterInternal(
+        1, "Standard",
+        "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG",
+        {"TTG", "CTG", "ATG"});
+    RegisterInternal(
+        2, "Vertebrate Mitochondrial",
+        "FFLLSSSSYY**CCWWLLLLPPPPHHQQRRRRIIMMTTTTNNKKSS**VVVVAAAADDEEGGGG",
+        {"ATT", "ATC", "ATA", "ATG", "GTG"});
+    RegisterInternal(
+        3, "Yeast Mitochondrial",
+        "FFLLSSSSYY**CCWWTTTTPPPPHHQQRRRRIIMMTTTTNNKKSSRRVVVVAAAADDEEGGGG",
+        {"ATA", "ATG", "GTG"});
+    RegisterInternal(
+        11, "Bacterial, Archaeal and Plant Plastid",
+        "FFLLSSSSYY**CC*WLLLLPPPPHHQQRRRRIIIMTTTTNNKKSSRRVVVVAAAADDEEGGGG",
+        {"TTG", "CTG", "ATT", "ATC", "ATA", "ATG", "GTG"});
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+Result<const CodonTable*> CodonTable::ByNcbiId(int id) {
+  EnsureBuiltins();
+  auto& registry = Registry();
+  auto it = registry.find(id);
+  if (it == registry.end()) {
+    return Status::NotFound("no codon table with NCBI id " +
+                            std::to_string(id));
+  }
+  return static_cast<const CodonTable*>(it->second.get());
+}
+
+Status CodonTable::Register(int ncbi_id, std::string name,
+                            std::string_view amino_acids,
+                            const std::vector<std::string>& start_codons) {
+  EnsureBuiltins();
+  return RegisterInternal(ncbi_id, std::move(name), amino_acids,
+                          start_codons);
+}
+
+char CodonTable::Translate(BaseCode b1, BaseCode b2, BaseCode b3) const {
+  if (b1 == kBaseGap || b2 == kBaseGap || b3 == kBaseGap) return 'X';
+  char result = 0;
+  // Enumerate the product of the three base sets; if all concrete codons
+  // agree, the translation is certain despite the ambiguity.
+  for (int i = 0; i < 4; ++i) {
+    if ((b1 & IndexToBase(i)) == 0) continue;
+    for (int j = 0; j < 4; ++j) {
+      if ((b2 & IndexToBase(j)) == 0) continue;
+      for (int k = 0; k < 4; ++k) {
+        if ((b3 & IndexToBase(k)) == 0) continue;
+        char aa = amino_acids_[i * 16 + j * 4 + k];
+        if (result == 0) {
+          result = aa;
+        } else if (result != aa) {
+          return 'X';
+        }
+      }
+    }
+  }
+  return result == 0 ? 'X' : result;
+}
+
+bool CodonTable::IsStart(BaseCode b1, BaseCode b2, BaseCode b3) const {
+  int i = BaseIndex(b1);
+  int j = BaseIndex(b2);
+  int k = BaseIndex(b3);
+  if (i < 0 || j < 0 || k < 0) return false;
+  return is_start_[i * 16 + j * 4 + k];
+}
+
+}  // namespace genalg::seq

@@ -1,0 +1,63 @@
+#ifndef GENALG_SEQ_CODON_TABLE_H_
+#define GENALG_SEQ_CODON_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "seq/alphabet.h"
+
+namespace genalg::seq {
+
+/// A genetic code: the mapping codon -> amino acid plus the set of start
+/// codons, identified by its NCBI translation-table id. Built-in tables:
+/// 1 (standard), 2 (vertebrate mitochondrial), 3 (yeast mitochondrial),
+/// 11 (bacterial/archaeal/plant plastid). Additional tables can be
+/// registered at runtime — the algebra is extensible (Sec. 4.2), and
+/// alternative genetic codes are exactly the kind of domain variation new
+/// applications bring in.
+class CodonTable {
+ public:
+  /// Looks up a table by NCBI id; NotFound if it was never registered.
+  static Result<const CodonTable*> ByNcbiId(int id);
+
+  /// Registers a custom table. `amino_acids` must be 64 characters in NCBI
+  /// codon order (bases ordered T, C, A, G; index = 16*b1 + 4*b2 + b3) and
+  /// `start_codons` a list of three-letter codons such as "ATG".
+  /// AlreadyExists if the id is taken, InvalidArgument on malformed input.
+  static Status Register(int ncbi_id, std::string name,
+                         std::string_view amino_acids,
+                         const std::vector<std::string>& start_codons);
+
+  int ncbi_id() const { return ncbi_id_; }
+  const std::string& name() const { return name_; }
+
+  /// Translates one codon of (possibly ambiguous) base sets. If every
+  /// concrete codon in the ambiguity product maps to the same amino acid,
+  /// that amino acid is returned (so GCN -> 'A'); otherwise 'X'. A codon
+  /// containing a gap yields 'X'.
+  char Translate(BaseCode b1, BaseCode b2, BaseCode b3) const;
+
+  /// True iff the (unambiguous) codon is a start codon of this code.
+  bool IsStart(BaseCode b1, BaseCode b2, BaseCode b3) const;
+
+  /// True iff the (possibly ambiguous) codon certainly translates to stop.
+  bool IsStop(BaseCode b1, BaseCode b2, BaseCode b3) const {
+    return Translate(b1, b2, b3) == '*';
+  }
+
+ private:
+  CodonTable() = default;
+
+  int ncbi_id_ = 0;
+  std::string name_;
+  char amino_acids_[64] = {};
+  bool is_start_[64] = {};
+
+  friend class CodonTableRegistryAccess;
+};
+
+}  // namespace genalg::seq
+
+#endif  // GENALG_SEQ_CODON_TABLE_H_

@@ -1,0 +1,111 @@
+#include "seq/protein_sequence.h"
+
+#include "seq/alphabet.h"
+
+namespace genalg::seq {
+
+namespace {
+
+// Average residue masses (daltons), standard values; water (18.015) is
+// added once per chain in MolecularWeightDaltons().
+double ResidueMass(char aa) {
+  switch (aa) {
+    case 'A': return 71.08;
+    case 'R': return 156.19;
+    case 'N': return 114.10;
+    case 'D': return 115.09;
+    case 'C': return 103.14;
+    case 'E': return 129.12;
+    case 'Q': return 128.13;
+    case 'G': return 57.05;
+    case 'H': return 137.14;
+    case 'I': return 113.16;
+    case 'L': return 113.16;
+    case 'K': return 128.17;
+    case 'M': return 131.19;
+    case 'F': return 147.18;
+    case 'P': return 97.12;
+    case 'S': return 87.08;
+    case 'T': return 101.10;
+    case 'W': return 186.21;
+    case 'Y': return 163.18;
+    case 'V': return 99.13;
+    case 'U': return 150.04;  // Selenocysteine.
+    case 'O': return 237.30;  // Pyrrolysine.
+    case 'B': return 114.60;  // Asx average of N/D.
+    case 'Z': return 128.62;  // Glx average of Q/E.
+    case 'X': return 110.0;   // Unknown: average residue.
+    default: return 0.0;      // '*' and '-' carry no mass.
+  }
+}
+
+}  // namespace
+
+Result<ProteinSequence> ProteinSequence::FromString(std::string_view text) {
+  ProteinSequence p;
+  p.residues_.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (!IsAminoAcidChar(text[i])) {
+      return Status::InvalidArgument(
+          std::string("invalid amino-acid character '") + text[i] +
+          "' at position " + std::to_string(i));
+    }
+    p.residues_.push_back(CanonicalAminoAcid(text[i]));
+  }
+  return p;
+}
+
+Status ProteinSequence::Append(char residue) {
+  if (!IsAminoAcidChar(residue)) {
+    return Status::InvalidArgument(
+        std::string("invalid amino-acid character '") + residue + "'");
+  }
+  residues_.push_back(CanonicalAminoAcid(residue));
+  return Status::OK();
+}
+
+Result<ProteinSequence> ProteinSequence::Subsequence(size_t pos,
+                                                     size_t len) const {
+  if (pos > residues_.size() || len > residues_.size() - pos) {
+    return Status::OutOfRange("protein subsequence out of range");
+  }
+  ProteinSequence p;
+  p.residues_.assign(residues_.begin() + pos, residues_.begin() + pos + len);
+  return p;
+}
+
+size_t ProteinSequence::CountUnknown() const {
+  size_t n = 0;
+  for (char c : residues_) {
+    if (c == 'X') ++n;
+  }
+  return n;
+}
+
+double ProteinSequence::MolecularWeightDaltons() const {
+  if (residues_.empty()) return 0.0;
+  double mass = 18.015;  // One water per chain.
+  for (char c : residues_) mass += ResidueMass(c);
+  return mass;
+}
+
+void ProteinSequence::Serialize(BytesWriter* out) const {
+  out->PutVarint(residues_.size());
+  out->PutRaw(residues_.data(), residues_.size());
+}
+
+Result<ProteinSequence> ProteinSequence::Deserialize(BytesReader* in) {
+  auto len = in->GetVarint();
+  if (!len.ok()) return len.status();
+  ProteinSequence p;
+  p.residues_.resize(static_cast<size_t>(*len));
+  GENALG_RETURN_IF_ERROR(in->GetRaw(p.residues_.data(), p.residues_.size()));
+  for (char c : p.residues_) {
+    if (!IsAminoAcidChar(c)) {
+      return Status::Corruption("invalid residue byte in stored protein");
+    }
+  }
+  return p;
+}
+
+}  // namespace genalg::seq

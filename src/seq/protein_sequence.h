@@ -1,0 +1,78 @@
+#ifndef GENALG_SEQ_PROTEIN_SEQUENCE_H_
+#define GENALG_SEQ_PROTEIN_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/bytes.h"
+#include "base/result.h"
+#include "base/status.h"
+
+namespace genalg::seq {
+
+/// An amino-acid sequence stored one byte per residue in a contiguous
+/// buffer (the compact flat form required by Sec. 4.4). Residues are the
+/// twenty standard amino acids plus B, Z, X, U, O, the stop marker '*', and
+/// the gap '-'.
+class ProteinSequence {
+ public:
+  ProteinSequence() = default;
+
+  ProteinSequence(const ProteinSequence&) = default;
+  ProteinSequence& operator=(const ProteinSequence&) = default;
+  ProteinSequence(ProteinSequence&&) = default;
+  ProteinSequence& operator=(ProteinSequence&&) = default;
+
+  /// Parses a residue string; InvalidArgument on the first bad character.
+  static Result<ProteinSequence> FromString(std::string_view text);
+
+  size_t size() const { return residues_.size(); }
+  bool empty() const { return residues_.empty(); }
+
+  /// The residue at position i as an uppercase character; requires
+  /// i < size().
+  char At(size_t i) const { return residues_[i]; }
+
+  /// Appends a validated residue.
+  Status Append(char residue);
+
+  /// The residue string.
+  std::string ToString() const {
+    return std::string(residues_.begin(), residues_.end());
+  }
+
+  /// Copies [pos, pos+len); OutOfRange if it does not fit.
+  Result<ProteinSequence> Subsequence(size_t pos, size_t len) const;
+
+  /// Number of X (unknown) residues — the protein-level uncertainty count.
+  size_t CountUnknown() const;
+
+  /// Monoisotopic-free approximate molecular weight in daltons (average
+  /// residue masses, water added once); X/B/Z use averaged masses.
+  double MolecularWeightDaltons() const;
+
+  /// True iff the sequence ends with the stop marker '*'.
+  bool HasTerminalStop() const {
+    return !residues_.empty() && residues_.back() == '*';
+  }
+
+  bool operator==(const ProteinSequence& other) const {
+    return residues_ == other.residues_;
+  }
+  bool operator!=(const ProteinSequence& other) const {
+    return !(*this == other);
+  }
+
+  /// Flat encoding: varint length then raw residue bytes.
+  void Serialize(BytesWriter* out) const;
+  static Result<ProteinSequence> Deserialize(BytesReader* in);
+
+ private:
+  std::vector<char> residues_;
+};
+
+}  // namespace genalg::seq
+
+#endif  // GENALG_SEQ_PROTEIN_SEQUENCE_H_

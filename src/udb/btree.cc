@@ -1,0 +1,202 @@
+#include "udb/btree.h"
+
+#include <algorithm>
+
+namespace genalg::udb {
+
+namespace {
+
+// Entries are made unique by compounding the key with the record id, which
+// turns duplicate-key handling into plain unique-key B+-tree logic.
+struct Composite {
+  std::string_view key;
+  RecordId rid;
+};
+
+bool Greater(const std::pair<std::string, RecordId>& a, const Composite& b) {
+  if (a.first != b.key) return a.first > b.key;
+  return b.rid < a.second;
+}
+
+}  // namespace
+
+BTree::BTree(size_t fanout) : fanout_(std::max<size_t>(fanout, 4)) {
+  root_ = std::make_unique<Node>();
+}
+
+size_t BTree::height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+void BTree::SplitChild(Node* parent, size_t idx) {
+  Node* child = parent->children[idx].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  size_t mid = child->keys.size() / 2;
+  std::string separator;
+  if (child->leaf) {
+    // Copy-up: the separator is the right leaf's first key.
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->records.assign(child->records.begin() + mid,
+                          child->records.end());
+    child->keys.resize(mid);
+    child->records.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+    separator = right->keys.front();
+    // The separator must order identically to the composite of the first
+    // right entry; store the key part (the rid tiebreak is reconstructed
+    // during descent by the strictly-greater comparison below).
+    parent->keys.insert(parent->keys.begin() + idx, separator);
+  } else {
+    // Move-up: the middle key migrates to the parent.
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+    parent->keys.insert(parent->keys.begin() + idx, separator);
+  }
+  parent->children.insert(parent->children.begin() + idx + 1,
+                          std::move(right));
+}
+
+void BTree::Insert(std::string_view key, RecordId rid) {
+  if (root_->keys.size() >= fanout_) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  InsertNonFull(root_.get(), key, rid);
+  ++size_;
+}
+
+void BTree::InsertNonFull(Node* node, std::string_view key, RecordId rid) {
+  Composite c{key, rid};
+  if (node->leaf) {
+    // First position where existing entry > composite.
+    size_t pos = 0;
+    while (pos < node->keys.size() &&
+           !Greater({node->keys[pos], node->records[pos]}, c)) {
+      ++pos;
+    }
+    node->keys.insert(node->keys.begin() + pos, std::string(key));
+    node->records.insert(node->records.begin() + pos, rid);
+    return;
+  }
+  // Descend: first separator strictly greater than the key goes left of
+  // us; equal keys route right (the separator is the right subtree's
+  // minimum key).
+  size_t idx = 0;
+  while (idx < node->keys.size() && node->keys[idx] <= key) ++idx;
+  if (node->children[idx]->keys.size() >= fanout_) {
+    SplitChild(node, idx);
+    if (node->keys[idx] <= key) ++idx;
+  }
+  InsertNonFull(node->children[idx].get(), key, rid);
+}
+
+const BTree::Node* BTree::FindLeaf(std::string_view key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t idx = 0;
+    // Lookups must reach the FIRST leaf that may hold `key`. Duplicates of
+    // a copied-up separator can sit in the left subtree, so equal keys
+    // route LEFT here; the forward leaf chain then covers the rest.
+    while (idx < node->keys.size() && node->keys[idx] < key) ++idx;
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+std::vector<RecordId> BTree::Find(std::string_view key) const {
+  std::vector<RecordId> out;
+  const Node* leaf = FindLeaf(key);
+  while (leaf != nullptr) {
+    bool past = false;
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < key) continue;
+      if (leaf->keys[i] > key) {
+        past = true;
+        break;
+      }
+      out.push_back(leaf->records[i]);
+    }
+    if (past) break;
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+std::vector<RecordId> BTree::Range(std::string_view lo,
+                                   std::string_view hi) const {
+  std::vector<RecordId> out;
+  if (hi < lo) return out;
+  const Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    bool past = false;
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      if (leaf->keys[i] > hi) {
+        past = true;
+        break;
+      }
+      out.push_back(leaf->records[i]);
+    }
+    if (past) break;
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+std::vector<RecordId> BTree::RangeFrom(std::string_view lo) const {
+  std::vector<RecordId> out;
+  const Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      out.push_back(leaf->records[i]);
+    }
+    leaf = leaf->next;
+  }
+  return out;
+}
+
+bool BTree::Remove(std::string_view key, RecordId rid) {
+  // Lazy deletion: remove the entry from its leaf without rebalancing;
+  // the tree stays valid (possibly under-full), which is the standard
+  // trade-off for workloads dominated by inserts and scans.
+  Node* node = root_.get();
+  while (!node->leaf) {
+    size_t idx = 0;
+    while (idx < node->keys.size() && node->keys[idx] < key) ++idx;
+    node = node->children[idx].get();
+  }
+  Node* leaf = node;
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < key) continue;
+      if (leaf->keys[i] > key) return false;
+      if (leaf->records[i] == rid) {
+        leaf->keys.erase(leaf->keys.begin() + i);
+        leaf->records.erase(leaf->records.begin() + i);
+        --size_;
+        return true;
+      }
+    }
+    leaf = leaf->next;
+  }
+  return false;
+}
+
+}  // namespace genalg::udb

@@ -1,0 +1,1312 @@
+#include "udb/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "base/strings.h"
+#include "index/kmer_index.h"
+#include "udb/sql_parser.h"
+
+namespace genalg::udb {
+
+namespace {
+
+// Extracts the nucleotide sequence behind a nucseq UDT datum.
+Result<seq::NucleotideSequence> DatumToSequence(const Adapter& adapter,
+                                                const Datum& datum) {
+  GENALG_ASSIGN_OR_RETURN(algebra::Value value, adapter.ToValue(datum));
+  return value.AsNucSeq();
+}
+
+bool IsAggregateName(std::string_view name) {
+  return name == "count" || name == "sum" || name == "avg" ||
+         name == "min" || name == "max";
+}
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == Expr::Kind::kCall && IsAggregateName(e.func)) return true;
+  for (const ExprPtr& arg : e.args) {
+    if (ContainsAggregate(*arg)) return true;
+  }
+  return false;
+}
+
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kBinary && e->op == "AND") {
+    SplitConjuncts(e->args[0].get(), out);
+    SplitConjuncts(e->args[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+// SQL LIKE: '%' matches any run, '_' any single character.
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  if (pattern.empty()) return text.empty();
+  if (pattern[0] == '%') {
+    for (size_t skip = 0; skip <= text.size(); ++skip) {
+      if (LikeMatch(text.substr(skip), pattern.substr(1))) return true;
+    }
+    return false;
+  }
+  if (text.empty()) return false;
+  if (pattern[0] != '_' && pattern[0] != text[0]) return false;
+  return LikeMatch(text.substr(1), pattern.substr(1));
+}
+
+// Relative evaluation cost of a predicate (Sec. 6.5 cost estimation):
+// 0 = native comparisons only; 1 = cheap genomic accessors; 2 = pattern
+// scans; 3 = alignment-grade operators. The optimizer evaluates cheap
+// conjuncts first so expensive ones run on fewer rows.
+int ExprCostRank(const Expr& e) {
+  int rank = 0;
+  if (e.kind == Expr::Kind::kCall) {
+    if (e.func == "resembles" || e.func == "align_score" ||
+        e.func == "orf_count" || e.func == "digest_count") {
+      rank = 3;
+    } else if (e.func == "contains" || e.func == "count_motif") {
+      rank = 2;
+    } else {
+      rank = 1;
+    }
+  }
+  for (const ExprPtr& arg : e.args) {
+    rank = std::max(rank, ExprCostRank(*arg));
+  }
+  return rank;
+}
+
+}  // namespace
+
+Result<size_t> TableSchema::ColumnIndex(std::string_view column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) return i;
+  }
+  return Status::NotFound("table '" + name + "' has no column '" +
+                          std::string(column) + "'");
+}
+
+Database::Database(const Adapter* adapter,
+                   std::unique_ptr<DiskManager> disk, size_t pool_pages)
+    : adapter_(adapter),
+      disk_(disk ? std::move(disk) : std::make_unique<MemoryDiskManager>()),
+      pool_(std::make_unique<BufferPool>(disk_.get(), pool_pages)) {}
+
+Result<Database::TableData*> Database::GetTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Database::TableData*> Database::GetTable(
+    std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + std::string(name) + "'");
+  }
+  return it->second.get();
+}
+
+Status Database::CreateTable(const std::string& name,
+                             std::vector<ColumnInfo> columns, Space space,
+                             bool privileged) {
+  if (space == Space::kPublic && !privileged) {
+    return Status::FailedPrecondition(
+        "only the warehouse maintenance path may create public tables");
+  }
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  std::set<std::string> seen;
+  for (const ColumnInfo& col : columns) {
+    if (!seen.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column '" + col.name + "'");
+    }
+    if (col.type.kind == DatumKind::kUdt &&
+        !adapter_->HasUdt(col.type.udt_name)) {
+      return Status::NotFound("no UDT registered under '" +
+                              col.type.udt_name + "'");
+    }
+  }
+  auto data = std::make_unique<TableData>();
+  data->schema.name = name;
+  data->schema.columns = std::move(columns);
+  data->schema.space = space;
+  GENALG_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_.get()));
+  data->heap = std::make_unique<HeapFile>(std::move(heap));
+  tables_.emplace(name, std::move(data));
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name, bool privileged) {
+  GENALG_ASSIGN_OR_RETURN(TableData * table, GetTable(name));
+  if (table->schema.space == Space::kPublic && !privileged) {
+    return Status::FailedPrecondition("cannot drop public table '" + name +
+                                      "'");
+  }
+  tables_.erase(name);
+  return Status::OK();
+}
+
+Result<const TableSchema*> Database::GetSchema(std::string_view table) const {
+  GENALG_ASSIGN_OR_RETURN(const TableData* data, GetTable(table));
+  return &data->schema;
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> out;
+  for (const auto& [name, data] : tables_) out.push_back(name);
+  return out;
+}
+
+Status Database::MaintainIndexesOnInsert(TableData* table, const Row& row,
+                                         RecordId rid) {
+  for (auto& btree : table->btrees) {
+    btree->tree.Insert(row[btree->column_index].OrderKey(), rid);
+  }
+  for (auto& kmer : table->kmers) {
+    const Datum& cell = row[kmer->column_index];
+    if (cell.is_null()) continue;
+    GENALG_ASSIGN_OR_RETURN(seq::NucleotideSequence sequence,
+                            DatumToSequence(*adapter_, cell));
+    std::set<uint64_t> words;
+    for (size_t pos = 0; pos + kmer->k <= sequence.size(); ++pos) {
+      uint64_t packed;
+      if (index::PackKmer(sequence, pos, kmer->k, &packed)) {
+        words.insert(packed);
+      }
+    }
+    for (uint64_t word : words) kmer->postings[word].push_back(rid);
+  }
+  return Status::OK();
+}
+
+Status Database::MaintainIndexesOnDelete(TableData* table, const Row& row,
+                                         RecordId rid) {
+  for (auto& btree : table->btrees) {
+    btree->tree.Remove(row[btree->column_index].OrderKey(), rid);
+  }
+  for (auto& kmer : table->kmers) {
+    const Datum& cell = row[kmer->column_index];
+    if (cell.is_null()) continue;
+    GENALG_ASSIGN_OR_RETURN(seq::NucleotideSequence sequence,
+                            DatumToSequence(*adapter_, cell));
+    std::set<uint64_t> words;
+    for (size_t pos = 0; pos + kmer->k <= sequence.size(); ++pos) {
+      uint64_t packed;
+      if (index::PackKmer(sequence, pos, kmer->k, &packed)) {
+        words.insert(packed);
+      }
+    }
+    for (uint64_t word : words) {
+      auto it = kmer->postings.find(word);
+      if (it == kmer->postings.end()) continue;
+      auto& list = it->second;
+      list.erase(std::remove(list.begin(), list.end(), rid), list.end());
+      if (list.empty()) kmer->postings.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::InsertRow(const std::string& table_name, Row row,
+                           bool privileged) {
+  GENALG_ASSIGN_OR_RETURN(TableData * table, GetTable(table_name));
+  if (table->schema.space == Space::kPublic && !privileged) {
+    return Status::FailedPrecondition(
+        "table '" + table_name +
+        "' is in the public space and read-only for this session");
+  }
+  if (row.size() != table->schema.columns.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells, table '" +
+        table_name + "' has " +
+        std::to_string(table->schema.columns.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnInfo& col = table->schema.columns[i];
+    if (col.type.kind == DatumKind::kReal &&
+        row[i].kind() == DatumKind::kInt) {
+      row[i] = Datum::Real(static_cast<double>(*row[i].AsInt()));
+    }
+    if (!col.type.Accepts(row[i])) {
+      return Status::InvalidArgument("column '" + col.name + "' of type " +
+                                     col.type.ToString() +
+                                     " rejects value " + row[i].ToString());
+    }
+  }
+  BytesWriter w;
+  SerializeRow(row, &w);
+  GENALG_ASSIGN_OR_RETURN(RecordId rid, table->heap->Insert(w.data()));
+  return MaintainIndexesOnInsert(table, row, rid);
+}
+
+Result<std::vector<Row>> Database::ScanTable(
+    const std::string& table_name) const {
+  GENALG_ASSIGN_OR_RETURN(const TableData* table, GetTable(table_name));
+  std::vector<Row> rows;
+  GENALG_RETURN_IF_ERROR(table->heap->Scan(
+      [&rows](RecordId, const uint8_t* data, size_t size) -> Status {
+        BytesReader r(data, size);
+        GENALG_ASSIGN_OR_RETURN(Row row, DeserializeRow(&r));
+        rows.push_back(std::move(row));
+        return Status::OK();
+      }));
+  return rows;
+}
+
+Status Database::CreateBTreeIndex(const std::string& table_name,
+                                  const std::string& column) {
+  GENALG_ASSIGN_OR_RETURN(TableData * table, GetTable(table_name));
+  for (const auto& existing : table->btrees) {
+    if (existing->column == column) {
+      return Status::AlreadyExists("btree index on '" + column +
+                                   "' already exists");
+    }
+  }
+  GENALG_ASSIGN_OR_RETURN(size_t col_idx,
+                          table->schema.ColumnIndex(column));
+  auto idx = std::make_unique<BTreeIndexData>();
+  idx->column = column;
+  idx->column_index = col_idx;
+  // Backfill from existing rows.
+  GENALG_RETURN_IF_ERROR(table->heap->Scan(
+      [&idx, col_idx](RecordId rid, const uint8_t* data,
+                      size_t size) -> Status {
+        BytesReader r(data, size);
+        GENALG_ASSIGN_OR_RETURN(Row row, DeserializeRow(&r));
+        idx->tree.Insert(row[col_idx].OrderKey(), rid);
+        return Status::OK();
+      }));
+  table->btrees.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Status Database::CreateKmerIndex(const std::string& table_name,
+                                 const std::string& column, size_t k) {
+  if (k < 4 || k > 31) {
+    return Status::InvalidArgument("k must be in [4, 31]");
+  }
+  GENALG_ASSIGN_OR_RETURN(TableData * table, GetTable(table_name));
+  for (const auto& existing : table->kmers) {
+    if (existing->column == column) {
+      return Status::AlreadyExists("kmer index on '" + column +
+                                   "' already exists");
+    }
+  }
+  GENALG_ASSIGN_OR_RETURN(size_t col_idx,
+                          table->schema.ColumnIndex(column));
+  const ColumnInfo& col = table->schema.columns[col_idx];
+  if (col.type.kind != DatumKind::kUdt || col.type.udt_name != "nucseq") {
+    return Status::InvalidArgument(
+        "kmer indexes require a nucseq column, '" + column + "' is " +
+        col.type.ToString());
+  }
+  auto idx = std::make_unique<KmerIndexData>();
+  idx->column = column;
+  idx->column_index = col_idx;
+  idx->k = k;
+  KmerIndexData* raw = idx.get();
+  table->kmers.push_back(std::move(idx));
+  // Backfill.
+  Status backfill = table->heap->Scan(
+      [this, raw, col_idx](RecordId rid, const uint8_t* data,
+                           size_t size) -> Status {
+        BytesReader r(data, size);
+        GENALG_ASSIGN_OR_RETURN(Row row, DeserializeRow(&r));
+        const Datum& cell = row[col_idx];
+        if (cell.is_null()) return Status::OK();
+        GENALG_ASSIGN_OR_RETURN(seq::NucleotideSequence sequence,
+                                DatumToSequence(*adapter_, cell));
+        std::set<uint64_t> words;
+        for (size_t pos = 0; pos + raw->k <= sequence.size(); ++pos) {
+          uint64_t packed;
+          if (index::PackKmer(sequence, pos, raw->k, &packed)) {
+            words.insert(packed);
+          }
+        }
+        for (uint64_t word : words) raw->postings[word].push_back(rid);
+        return Status::OK();
+      });
+  if (!backfill.ok()) {
+    table->kmers.pop_back();
+    return backfill;
+  }
+  return Status::OK();
+}
+
+// ================================================================ Executor.
+
+class Database::Executor {
+ public:
+  Executor(Database* db, bool privileged)
+      : db_(db), privileged_(privileged) {}
+
+  Result<QueryResult> Run(const Statement& stmt) {
+    return std::visit(
+        [this](const auto& s) -> Result<QueryResult> { return Exec(s); },
+        stmt);
+  }
+
+  /// Renders the access plan a SELECT would use (Sec. 6.5).
+  Result<std::string> ExplainSelect(const SelectStmt& stmt) {
+    std::string out;
+    if (stmt.tables.size() != 1) {
+      out += "nested-loop join over " +
+             std::to_string(stmt.tables.size()) + " tables (build order: ";
+      for (size_t i = 0; i < stmt.tables.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += stmt.tables[i].name;
+      }
+      out += ")\n";
+    }
+    GENALG_ASSIGN_OR_RETURN(TableData * table,
+                            db_->GetTable(stmt.tables[0].name));
+    // Access path.
+    std::string access = "sequential scan of " + table->schema.name;
+    std::vector<const Expr*> conjuncts;
+    SplitConjuncts(stmt.where.get(), &conjuncts);
+    if (stmt.tables.size() == 1) {
+      for (const Expr* conjunct : conjuncts) {
+        if (conjunct->kind == Expr::Kind::kBinary &&
+            (conjunct->op == "=" || conjunct->op == ">=" ||
+             conjunct->op == ">")) {
+          const Expr* col = conjunct->args[0].get();
+          const Expr* value = conjunct->args[1].get();
+          if (col->kind != Expr::Kind::kColumn) std::swap(col, value);
+          if (col->kind != Expr::Kind::kColumn) continue;
+          if (!EvalConst(*value).ok()) continue;
+          auto col_idx = table->schema.ColumnIndex(col->column);
+          if (!col_idx.ok()) continue;
+          for (const auto& btree : table->btrees) {
+            if (btree->column_index != *col_idx) continue;
+            access = std::string("btree ") +
+                     (conjunct->op == "=" ? "equality probe"
+                                          : "range scan") +
+                     " on " + table->schema.name + "(" + col->column + ")";
+            break;
+          }
+        }
+        if (conjunct->kind == Expr::Kind::kCall &&
+            conjunct->func == "contains" && conjunct->args.size() == 2 &&
+            conjunct->args[0]->kind == Expr::Kind::kColumn) {
+          auto col_idx =
+              table->schema.ColumnIndex(conjunct->args[0]->column);
+          if (!col_idx.ok()) continue;
+          auto pattern_datum = EvalConst(*conjunct->args[1]);
+          if (!pattern_datum.ok()) continue;
+          for (const auto& kmer : table->kmers) {
+            if (kmer->column_index != *col_idx) continue;
+            auto pattern = DatumToSequence(*db_->adapter_, *pattern_datum);
+            if (!pattern.ok() || pattern->size() < kmer->k ||
+                pattern->CountAmbiguous() > 0) {
+              continue;
+            }
+            access = "kmer prefilter (k=" + std::to_string(kmer->k) +
+                     ") on " + table->schema.name + "(" +
+                     conjunct->args[0]->column + ") + verification";
+            break;
+          }
+        }
+      }
+    }
+    out += "access: " + access + "\n";
+    // Predicate order and selectivities.
+    std::stable_sort(conjuncts.begin(), conjuncts.end(),
+                     [](const Expr* a, const Expr* b) {
+                       return ExprCostRank(*a) < ExprCostRank(*b);
+                     });
+    for (const Expr* conjunct : conjuncts) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "  filter [cost %d, sel ~%.3f] ",
+                    ExprCostRank(*conjunct),
+                    EstimateSelectivity(*conjunct));
+      out += line;
+      out += conjunct->ToString() + "\n";
+    }
+    return out;
+  }
+
+  /// Heuristic conjunct selectivity (Sec. 6.5 "information about the
+  /// selectivity of genomic predicates"). Assumes ~1 kb sequences and a
+  /// uniform base model for pattern predicates.
+  double EstimateSelectivity(const Expr& e) {
+    if (e.kind == Expr::Kind::kBinary) {
+      if (e.op == "=") return 0.05;
+      if (e.op == "!=") return 0.95;
+      return 0.3;  // Ranges.
+    }
+    if (e.kind == Expr::Kind::kCall && e.func == "contains" &&
+        e.args.size() == 2) {
+      auto pattern_datum = EvalConst(*e.args[1]);
+      if (pattern_datum.ok()) {
+        auto pattern = DatumToSequence(*db_->adapter_, *pattern_datum);
+        if (pattern.ok() && pattern->size() > 0) {
+          double expected =
+              1000.0 * std::pow(0.25, static_cast<double>(
+                                          std::min<size_t>(pattern->size(),
+                                                           24)));
+          return std::min(1.0, expected);
+        }
+      }
+      return 0.1;
+    }
+    if (e.kind == Expr::Kind::kCall && e.func == "resembles") return 0.05;
+    return 0.5;
+  }
+
+ private:
+  // A bound FROM clause: per-table alias, schema, and column offset into
+  // the combined row.
+  struct Binding {
+    std::string alias;
+    const TableSchema* schema;
+    size_t offset;
+  };
+  struct Env {
+    std::vector<Binding> bindings;
+
+    Result<size_t> Resolve(const std::string& table,
+                           const std::string& column) const {
+      size_t found = SIZE_MAX;
+      for (const Binding& b : bindings) {
+        if (!table.empty() && b.alias != table) continue;
+        auto idx = b.schema->ColumnIndex(column);
+        if (!idx.ok()) continue;
+        if (found != SIZE_MAX) {
+          return Status::InvalidArgument("ambiguous column '" + column +
+                                         "'");
+        }
+        found = b.offset + *idx;
+      }
+      if (found == SIZE_MAX) {
+        return Status::NotFound(
+            "unknown column '" +
+            (table.empty() ? column : table + "." + column) + "'");
+      }
+      return found;
+    }
+  };
+
+  // ----------------------------------------------------------- Eval.
+
+  Result<Datum> Eval(const Expr& e, const Row& row, const Env& env) {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral:
+        return e.literal;
+      case Expr::Kind::kStar:
+        return Status::InvalidArgument("'*' is only valid in COUNT(*)");
+      case Expr::Kind::kColumn: {
+        GENALG_ASSIGN_OR_RETURN(size_t idx, env.Resolve(e.table, e.column));
+        return row[idx];
+      }
+      case Expr::Kind::kUnary: {
+        if (e.op == "NOT") {
+          GENALG_ASSIGN_OR_RETURN(bool v, EvalBool(*e.args[0], row, env));
+          return Datum::Bool(!v);
+        }
+        GENALG_ASSIGN_OR_RETURN(Datum inner, Eval(*e.args[0], row, env));
+        if (inner.kind() == DatumKind::kInt) {
+          return Datum::Int(-*inner.AsInt());
+        }
+        GENALG_ASSIGN_OR_RETURN(double v, inner.AsNumber());
+        return Datum::Real(-v);
+      }
+      case Expr::Kind::kBinary:
+        return EvalBinary(e, row, env);
+      case Expr::Kind::kCall: {
+        if (IsAggregateName(e.func)) {
+          return Status::InvalidArgument(
+              "aggregate '" + e.func +
+              "' is not allowed in this context");
+        }
+        std::vector<Datum> args;
+        args.reserve(e.args.size());
+        for (const ExprPtr& arg : e.args) {
+          GENALG_ASSIGN_OR_RETURN(Datum d, Eval(*arg, row, env));
+          args.push_back(std::move(d));
+        }
+        return db_->adapter_->Invoke(e.func, args);
+      }
+    }
+    return Status::InvalidArgument("unevaluable expression");
+  }
+
+  // Boolean context: NULL reads as false (SQL's WHERE semantics).
+  Result<bool> EvalBool(const Expr& e, const Row& row, const Env& env) {
+    GENALG_ASSIGN_OR_RETURN(Datum d, Eval(e, row, env));
+    if (d.is_null()) return false;
+    return d.AsBool();
+  }
+
+  Result<Datum> EvalBinary(const Expr& e, const Row& row, const Env& env) {
+    const std::string& op = e.op;
+    if (op == "AND") {
+      GENALG_ASSIGN_OR_RETURN(bool a, EvalBool(*e.args[0], row, env));
+      if (!a) return Datum::Bool(false);
+      GENALG_ASSIGN_OR_RETURN(bool b, EvalBool(*e.args[1], row, env));
+      return Datum::Bool(b);
+    }
+    if (op == "OR") {
+      GENALG_ASSIGN_OR_RETURN(bool a, EvalBool(*e.args[0], row, env));
+      if (a) return Datum::Bool(true);
+      GENALG_ASSIGN_OR_RETURN(bool b, EvalBool(*e.args[1], row, env));
+      return Datum::Bool(b);
+    }
+    GENALG_ASSIGN_OR_RETURN(Datum left, Eval(*e.args[0], row, env));
+    GENALG_ASSIGN_OR_RETURN(Datum right, Eval(*e.args[1], row, env));
+    if (op == "LIKE") {
+      if (left.is_null() || right.is_null()) return Datum::Bool(false);
+      GENALG_ASSIGN_OR_RETURN(std::string text, left.AsString());
+      GENALG_ASSIGN_OR_RETURN(std::string pattern, right.AsString());
+      return Datum::Bool(LikeMatch(text, pattern));
+    }
+    if (op == "=" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+        op == ">=") {
+      if (left.is_null() || right.is_null()) return Datum::Bool(false);
+      GENALG_ASSIGN_OR_RETURN(int c, left.Compare(right));
+      bool v = (op == "=" && c == 0) || (op == "!=" && c != 0) ||
+               (op == "<" && c < 0) || (op == "<=" && c <= 0) ||
+               (op == ">" && c > 0) || (op == ">=" && c >= 0);
+      return Datum::Bool(v);
+    }
+    // Arithmetic. String '+' concatenates.
+    if (op == "+" && left.kind() == DatumKind::kString &&
+        right.kind() == DatumKind::kString) {
+      return Datum::String(*left.AsString() + *right.AsString());
+    }
+    if (left.kind() == DatumKind::kInt && right.kind() == DatumKind::kInt) {
+      int64_t a = *left.AsInt();
+      int64_t b = *right.AsInt();
+      if (op == "+") return Datum::Int(a + b);
+      if (op == "-") return Datum::Int(a - b);
+      if (op == "*") return Datum::Int(a * b);
+      if (op == "/") {
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Datum::Int(a / b);
+      }
+    }
+    GENALG_ASSIGN_OR_RETURN(double a, left.AsNumber());
+    GENALG_ASSIGN_OR_RETURN(double b, right.AsNumber());
+    if (op == "+") return Datum::Real(a + b);
+    if (op == "-") return Datum::Real(a - b);
+    if (op == "*") return Datum::Real(a * b);
+    if (op == "/") {
+      if (b == 0) return Status::InvalidArgument("division by zero");
+      return Datum::Real(a / b);
+    }
+    return Status::InvalidArgument("unknown operator '" + op + "'");
+  }
+
+  // Evaluates aggregates over a group; non-aggregate sub-expressions are
+  // evaluated against the group's first row.
+  Result<Datum> EvalAgg(const Expr& e, const std::vector<Row>& group,
+                        const Env& env) {
+    if (e.kind == Expr::Kind::kCall && IsAggregateName(e.func)) {
+      if (e.args.size() != 1) {
+        return Status::InvalidArgument("aggregate '" + e.func +
+                                       "' takes one argument");
+      }
+      const Expr& arg = *e.args[0];
+      if (e.func == "count") {
+        if (arg.kind == Expr::Kind::kStar) {
+          return Datum::Int(static_cast<int64_t>(group.size()));
+        }
+        int64_t n = 0;
+        for (const Row& row : group) {
+          GENALG_ASSIGN_OR_RETURN(Datum d, Eval(arg, row, env));
+          if (!d.is_null()) ++n;
+        }
+        return Datum::Int(n);
+      }
+      if (e.func == "sum" || e.func == "avg") {
+        double total = 0;
+        int64_t n = 0;
+        bool all_int = true;
+        for (const Row& row : group) {
+          GENALG_ASSIGN_OR_RETURN(Datum d, Eval(arg, row, env));
+          if (d.is_null()) continue;
+          if (d.kind() != DatumKind::kInt) all_int = false;
+          GENALG_ASSIGN_OR_RETURN(double v, d.AsNumber());
+          total += v;
+          ++n;
+        }
+        if (e.func == "avg") {
+          if (n == 0) return Datum::Null();
+          return Datum::Real(total / static_cast<double>(n));
+        }
+        if (n == 0) return Datum::Null();
+        return all_int ? Datum::Int(static_cast<int64_t>(total))
+                       : Datum::Real(total);
+      }
+      // min / max.
+      Datum best;
+      for (const Row& row : group) {
+        GENALG_ASSIGN_OR_RETURN(Datum d, Eval(arg, row, env));
+        if (d.is_null()) continue;
+        if (best.is_null()) {
+          best = d;
+          continue;
+        }
+        GENALG_ASSIGN_OR_RETURN(int c, d.Compare(best));
+        if ((e.func == "min" && c < 0) || (e.func == "max" && c > 0)) {
+          best = d;
+        }
+      }
+      return best;
+    }
+    if (!ContainsAggregate(e)) {
+      if (group.empty()) return Datum::Null();
+      return Eval(e, group.front(), env);
+    }
+    // Mixed expression (e.g. count(*) + 1): rebuild by evaluating children.
+    Expr shallow;
+    shallow.kind = e.kind;
+    shallow.op = e.op;
+    shallow.func = e.func;
+    std::vector<Datum> child_values;
+    for (const ExprPtr& arg : e.args) {
+      GENALG_ASSIGN_OR_RETURN(Datum d, EvalAgg(*arg, group, env));
+      child_values.push_back(std::move(d));
+    }
+    for (Datum& d : child_values) {
+      auto lit = std::make_unique<Expr>();
+      lit->kind = Expr::Kind::kLiteral;
+      lit->literal = std::move(d);
+      shallow.args.push_back(std::move(lit));
+    }
+    Env empty_env;
+    Row empty_row;
+    return Eval(shallow, empty_row, empty_env);
+  }
+
+  // Constant folding (for INSERT values and index probes).
+  Result<Datum> EvalConst(const Expr& e) {
+    Env empty_env;
+    Row empty_row;
+    return Eval(e, empty_row, empty_env);
+  }
+
+  // --------------------------------------------------------- SELECT.
+
+  Result<QueryResult> Exec(const SelectStmt& stmt) {
+    // Bind tables.
+    std::vector<TableData*> tables;
+    Env env;
+    size_t offset = 0;
+    std::set<std::string> aliases;
+    for (const TableRef& ref : stmt.tables) {
+      GENALG_ASSIGN_OR_RETURN(TableData * table, db_->GetTable(ref.name));
+      if (!aliases.insert(ref.alias).second) {
+        return Status::InvalidArgument("duplicate table alias '" +
+                                       ref.alias + "'");
+      }
+      tables.push_back(table);
+      env.bindings.push_back(Binding{ref.alias, &table->schema, offset});
+      offset += table->schema.columns.size();
+    }
+    if (tables.empty()) {
+      return Status::InvalidArgument("SELECT needs a FROM clause");
+    }
+
+    // Materialize per-table row sets (the first table may go through an
+    // index path).
+    std::vector<std::vector<Row>> table_rows(tables.size());
+    for (size_t i = 0; i < tables.size(); ++i) {
+      bool used_index = false;
+      if (i == 0 && tables.size() == 1 && stmt.where != nullptr) {
+        GENALG_ASSIGN_OR_RETURN(
+            used_index,
+            TryIndexPath(tables[0], *stmt.where, &table_rows[0]));
+      }
+      if (!used_index) {
+        GENALG_RETURN_IF_ERROR(FullScan(tables[i], &table_rows[i]));
+      }
+    }
+
+    // The Sec. 6.5 predicate-ordering rule: evaluate WHERE conjuncts
+    // cheapest-first (native comparisons, then genomic accessors, pattern
+    // scans, alignment) so expensive operators see the fewest rows.
+    std::vector<const Expr*> conjuncts;
+    SplitConjuncts(stmt.where.get(), &conjuncts);
+    if (db_->predicate_reordering_) {
+      std::stable_sort(conjuncts.begin(), conjuncts.end(),
+                       [](const Expr* a, const Expr* b) {
+                         return ExprCostRank(*a) < ExprCostRank(*b);
+                       });
+    }
+
+    // Cross product + WHERE.
+    std::vector<Row> combined;
+    std::vector<size_t> cursor(tables.size(), 0);
+    Row current;
+    Status error = Status::OK();
+    std::function<Status(size_t)> recurse =
+        [&](size_t depth) -> Status {
+      if (depth == tables.size()) {
+        for (const Expr* conjunct : conjuncts) {
+          GENALG_ASSIGN_OR_RETURN(bool keep,
+                                  EvalBool(*conjunct, current, env));
+          if (!keep) return Status::OK();
+        }
+        combined.push_back(current);
+        return Status::OK();
+      }
+      for (const Row& row : table_rows[depth]) {
+        size_t before = current.size();
+        current.insert(current.end(), row.begin(), row.end());
+        Status s = recurse(depth + 1);
+        current.resize(before);
+        GENALG_RETURN_IF_ERROR(s);
+      }
+      return Status::OK();
+    };
+    GENALG_RETURN_IF_ERROR(recurse(0));
+
+    // Output expressions.
+    std::vector<const Expr*> out_exprs;
+    std::vector<std::string> out_names;
+    std::vector<ExprPtr> star_exprs;
+    if (stmt.select_star) {
+      for (const Binding& b : env.bindings) {
+        for (const ColumnInfo& col : b.schema->columns) {
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kColumn;
+          e->table = b.alias;
+          e->column = col.name;
+          out_names.push_back(env.bindings.size() > 1
+                                  ? b.alias + "." + col.name
+                                  : col.name);
+          star_exprs.push_back(std::move(e));
+        }
+      }
+      for (const ExprPtr& e : star_exprs) out_exprs.push_back(e.get());
+    } else {
+      for (const SelectItem& item : stmt.items) {
+        out_exprs.push_back(item.expr.get());
+        out_names.push_back(item.alias.empty() ? item.expr->ToString()
+                                               : item.alias);
+      }
+    }
+
+    bool aggregated = !stmt.group_by.empty();
+    for (const Expr* e : out_exprs) {
+      if (ContainsAggregate(*e)) aggregated = true;
+    }
+
+    // ORDER BY may name a select-list alias; substitute the aliased
+    // expression so "ORDER BY n" works for "count(*) AS n".
+    std::vector<std::pair<const Expr*, bool>> order_by;
+    for (const auto& [order_expr, asc] : stmt.order_by) {
+      const Expr* resolved = order_expr.get();
+      if (resolved->kind == Expr::Kind::kColumn && resolved->table.empty()) {
+        for (size_t i = 0; i < stmt.items.size(); ++i) {
+          if (stmt.items[i].alias == resolved->column) {
+            resolved = stmt.items[i].expr.get();
+            break;
+          }
+        }
+      }
+      order_by.emplace_back(resolved, asc);
+    }
+
+    QueryResult result;
+    result.columns = out_names;
+
+    if (aggregated) {
+      // Hash grouping on the GROUP BY keys (one global group if none).
+      std::map<std::string, std::vector<Row>> groups;
+      for (const Row& row : combined) {
+        std::string key;
+        for (const ExprPtr& g : stmt.group_by) {
+          GENALG_ASSIGN_OR_RETURN(Datum d, Eval(*g, row, env));
+          key += d.OrderKey();
+          key.push_back('\x1F');
+        }
+        groups[key].push_back(row);
+      }
+      if (groups.empty() && stmt.group_by.empty()) {
+        groups.emplace("", std::vector<Row>{});
+      }
+      struct GroupOut {
+        Row projected;
+        std::vector<Datum> order_keys;
+      };
+      std::vector<GroupOut> outs;
+      for (auto& [key, rows] : groups) {
+        GroupOut out;
+        for (const Expr* e : out_exprs) {
+          GENALG_ASSIGN_OR_RETURN(Datum d, EvalAgg(*e, rows, env));
+          out.projected.push_back(std::move(d));
+        }
+        for (const auto& [order_expr, asc] : order_by) {
+          GENALG_ASSIGN_OR_RETURN(Datum d, EvalAgg(*order_expr, rows, env));
+          out.order_keys.push_back(std::move(d));
+        }
+        outs.push_back(std::move(out));
+      }
+      GENALG_RETURN_IF_ERROR(SortByKeys(&outs, order_by));
+      for (GroupOut& out : outs) {
+        result.rows.push_back(std::move(out.projected));
+      }
+    } else {
+      struct RowOut {
+        Row projected;
+        std::vector<Datum> order_keys;
+      };
+      std::vector<RowOut> outs;
+      for (const Row& row : combined) {
+        RowOut out;
+        for (const Expr* e : out_exprs) {
+          GENALG_ASSIGN_OR_RETURN(Datum d, Eval(*e, row, env));
+          out.projected.push_back(std::move(d));
+        }
+        for (const auto& [order_expr, asc] : order_by) {
+          GENALG_ASSIGN_OR_RETURN(Datum d, Eval(*order_expr, row, env));
+          out.order_keys.push_back(std::move(d));
+        }
+        outs.push_back(std::move(out));
+      }
+      GENALG_RETURN_IF_ERROR(SortByKeys(&outs, order_by));
+      for (RowOut& out : outs) {
+        result.rows.push_back(std::move(out.projected));
+      }
+    }
+
+    if (stmt.distinct) {
+      std::set<std::string> seen;
+      std::vector<Row> unique_rows;
+      for (Row& row : result.rows) {
+        std::string key;
+        for (const Datum& d : row) {
+          key += d.OrderKey();
+          key.push_back('\x1F');
+        }
+        if (seen.insert(std::move(key)).second) {
+          unique_rows.push_back(std::move(row));
+        }
+      }
+      result.rows = std::move(unique_rows);
+    }
+    if (stmt.limit >= 0 &&
+        result.rows.size() > static_cast<size_t>(stmt.limit)) {
+      result.rows.resize(static_cast<size_t>(stmt.limit));
+    }
+    return result;
+  }
+
+  template <typename T>
+  Status SortByKeys(
+      std::vector<T>* outs,
+      const std::vector<std::pair<const Expr*, bool>>& order_by) {
+    if (order_by.empty()) return Status::OK();
+    Status error = Status::OK();
+    std::stable_sort(outs->begin(), outs->end(),
+                     [&](const T& a, const T& b) {
+                       for (size_t i = 0; i < order_by.size(); ++i) {
+                         auto c = a.order_keys[i].Compare(b.order_keys[i]);
+                         if (!c.ok()) {
+                           error = c.status();
+                           return false;
+                         }
+                         if (*c != 0) {
+                           return order_by[i].second ? *c < 0 : *c > 0;
+                         }
+                       }
+                       return false;
+                     });
+    return error;
+  }
+
+  Status FullScan(TableData* table, std::vector<Row>* out) {
+    return table->heap->Scan(
+        [this, out](RecordId, const uint8_t* data, size_t size) -> Status {
+          BytesReader r(data, size);
+          GENALG_ASSIGN_OR_RETURN(Row row, DeserializeRow(&r));
+          ++db_->last_rows_scanned_;
+          out->push_back(std::move(row));
+          return Status::OK();
+        });
+  }
+
+  // Attempts an index-backed access path for a single-table WHERE: btree
+  // equality / lower-bound probes and k-mer candidate retrieval for
+  // contains() (Sec. 6.5). Returns true and fills `out` when an index
+  // applied; the caller still re-checks the full predicate.
+  Result<bool> TryIndexPath(TableData* table, const Expr& where,
+                            std::vector<Row>* out) {
+    std::vector<const Expr*> conjuncts;
+    SplitConjuncts(&where, &conjuncts);
+    for (const Expr* conjunct : conjuncts) {
+      // col = const / col >= const / col > const with a btree.
+      if (conjunct->kind == Expr::Kind::kBinary &&
+          (conjunct->op == "=" || conjunct->op == ">=" ||
+           conjunct->op == ">")) {
+        const Expr* col = conjunct->args[0].get();
+        const Expr* value = conjunct->args[1].get();
+        if (col->kind != Expr::Kind::kColumn) std::swap(col, value);
+        if (col->kind != Expr::Kind::kColumn) continue;
+        auto const_value = EvalConst(*value);
+        if (!const_value.ok()) continue;
+        auto col_idx = table->schema.ColumnIndex(col->column);
+        if (!col_idx.ok()) continue;
+        for (const auto& btree : table->btrees) {
+          if (btree->column_index != *col_idx) continue;
+          std::string key = const_value->OrderKey();
+          std::vector<RecordId> rids = conjunct->op == "="
+                                           ? btree->tree.Find(key)
+                                           : btree->tree.RangeFrom(key);
+          GENALG_RETURN_IF_ERROR(FetchRows(table, rids, out));
+          return true;
+        }
+      }
+      // contains(col, const_pattern) with a k-mer index.
+      if (conjunct->kind == Expr::Kind::kCall &&
+          conjunct->func == "contains" && conjunct->args.size() == 2 &&
+          conjunct->args[0]->kind == Expr::Kind::kColumn) {
+        auto col_idx =
+            table->schema.ColumnIndex(conjunct->args[0]->column);
+        if (!col_idx.ok()) continue;
+        auto pattern_datum = EvalConst(*conjunct->args[1]);
+        if (!pattern_datum.ok()) continue;
+        for (const auto& kmer : table->kmers) {
+          if (kmer->column_index != *col_idx) continue;
+          auto pattern = DatumToSequence(*db_->adapter_, *pattern_datum);
+          if (!pattern.ok()) continue;
+          if (pattern->size() < kmer->k || pattern->CountAmbiguous() > 0) {
+            continue;  // Index unusable; scan instead.
+          }
+          // Any row containing the pattern contains all of its k-mers:
+          // intersect the posting lists (capped for long patterns).
+          std::vector<RecordId> candidates;
+          bool first = true;
+          size_t probes = 0;
+          for (size_t pos = 0;
+               pos + kmer->k <= pattern->size() && probes < 16;
+               pos += kmer->k, ++probes) {
+            uint64_t packed;
+            if (!index::PackKmer(*pattern, pos, kmer->k, &packed)) break;
+            auto it = kmer->postings.find(packed);
+            std::vector<RecordId> hits =
+                it == kmer->postings.end() ? std::vector<RecordId>{}
+                                           : it->second;
+            std::sort(hits.begin(), hits.end());
+            if (first) {
+              candidates = std::move(hits);
+              first = false;
+            } else {
+              std::vector<RecordId> merged;
+              std::set_intersection(candidates.begin(), candidates.end(),
+                                    hits.begin(), hits.end(),
+                                    std::back_inserter(merged));
+              candidates = std::move(merged);
+            }
+            if (candidates.empty()) break;
+          }
+          GENALG_RETURN_IF_ERROR(FetchRows(table, candidates, out));
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  Status FetchRows(TableData* table, const std::vector<RecordId>& rids,
+                   std::vector<Row>* out) {
+    for (RecordId rid : rids) {
+      auto bytes = table->heap->Get(rid);
+      if (!bytes.ok()) {
+        if (bytes.status().IsNotFound()) continue;  // Stale index entry.
+        return bytes.status();
+      }
+      BytesReader r(bytes->data(), bytes->size());
+      GENALG_ASSIGN_OR_RETURN(Row row, DeserializeRow(&r));
+      ++db_->last_rows_scanned_;
+      out->push_back(std::move(row));
+    }
+    return Status::OK();
+  }
+
+  // ------------------------------------------------- Other statements.
+
+  Result<QueryResult> Exec(const CreateTableStmt& stmt) {
+    std::vector<ColumnInfo> columns;
+    for (const ColumnDef& def : stmt.columns) {
+      ColumnInfo info;
+      info.name = def.name;
+      if (def.type_name == "int" || def.type_name == "integer") {
+        info.type = ColumnType::Int();
+      } else if (def.type_name == "real" || def.type_name == "double" ||
+                 def.type_name == "float") {
+        info.type = ColumnType::Real();
+      } else if (def.type_name == "text" || def.type_name == "string" ||
+                 def.type_name == "varchar") {
+        info.type = ColumnType::String();
+      } else if (def.type_name == "bool" || def.type_name == "boolean") {
+        info.type = ColumnType::Bool();
+      } else if (db_->adapter_->HasUdt(def.type_name)) {
+        info.type = ColumnType::Udt(def.type_name);
+      } else {
+        return Status::NotFound("unknown column type '" + def.type_name +
+                                "'");
+      }
+      columns.push_back(std::move(info));
+    }
+    GENALG_RETURN_IF_ERROR(db_->CreateTable(
+        stmt.table, std::move(columns),
+        stmt.user_space ? Space::kUser : Space::kPublic, privileged_));
+    QueryResult r;
+    r.message = "created table " + stmt.table;
+    return r;
+  }
+
+  Result<QueryResult> Exec(const DropTableStmt& stmt) {
+    GENALG_RETURN_IF_ERROR(db_->DropTable(stmt.table, privileged_));
+    QueryResult r;
+    r.message = "dropped table " + stmt.table;
+    return r;
+  }
+
+  Result<QueryResult> Exec(const CreateIndexStmt& stmt) {
+    if (stmt.method == "kmer") {
+      GENALG_RETURN_IF_ERROR(db_->CreateKmerIndex(stmt.table, stmt.column));
+    } else {
+      GENALG_RETURN_IF_ERROR(db_->CreateBTreeIndex(stmt.table, stmt.column));
+    }
+    QueryResult r;
+    r.message = "created " + stmt.method + " index " + stmt.index_name;
+    return r;
+  }
+
+  Result<QueryResult> Exec(const InsertStmt& stmt) {
+    size_t inserted = 0;
+    for (const std::vector<ExprPtr>& row_exprs : stmt.rows) {
+      Row row;
+      for (const ExprPtr& e : row_exprs) {
+        GENALG_ASSIGN_OR_RETURN(Datum d, EvalConst(*e));
+        row.push_back(std::move(d));
+      }
+      GENALG_RETURN_IF_ERROR(
+          db_->InsertRow(stmt.table, std::move(row), privileged_));
+      ++inserted;
+    }
+    QueryResult r;
+    r.message = "inserted " + std::to_string(inserted) + " rows";
+    return r;
+  }
+
+  // Collects (rid, row) pairs matching `where` on one table.
+  Result<std::vector<std::pair<RecordId, Row>>> Matches(TableData* table,
+                                                        const Expr* where) {
+    Env env;
+    env.bindings.push_back(Binding{table->schema.name, &table->schema, 0});
+    std::vector<std::pair<RecordId, Row>> matches;
+    Status scan = table->heap->Scan(
+        [&](RecordId rid, const uint8_t* data, size_t size) -> Status {
+          BytesReader r(data, size);
+          GENALG_ASSIGN_OR_RETURN(Row row, DeserializeRow(&r));
+          ++db_->last_rows_scanned_;
+          if (where != nullptr) {
+            GENALG_ASSIGN_OR_RETURN(bool keep, EvalBool(*where, row, env));
+            if (!keep) return Status::OK();
+          }
+          matches.emplace_back(rid, std::move(row));
+          return Status::OK();
+        });
+    GENALG_RETURN_IF_ERROR(scan);
+    return matches;
+  }
+
+  Result<QueryResult> Exec(const DeleteStmt& stmt) {
+    GENALG_ASSIGN_OR_RETURN(TableData * table, db_->GetTable(stmt.table));
+    if (table->schema.space == Space::kPublic && !privileged_) {
+      return Status::FailedPrecondition("table '" + stmt.table +
+                                        "' is read-only public space");
+    }
+    GENALG_ASSIGN_OR_RETURN(auto matches,
+                            Matches(table, stmt.where.get()));
+    for (const auto& [rid, row] : matches) {
+      GENALG_RETURN_IF_ERROR(table->heap->Delete(rid));
+      GENALG_RETURN_IF_ERROR(db_->MaintainIndexesOnDelete(table, row, rid));
+    }
+    QueryResult r;
+    r.message = "deleted " + std::to_string(matches.size()) + " rows";
+    return r;
+  }
+
+  Result<QueryResult> Exec(const UpdateStmt& stmt) {
+    GENALG_ASSIGN_OR_RETURN(TableData * table, db_->GetTable(stmt.table));
+    if (table->schema.space == Space::kPublic && !privileged_) {
+      return Status::FailedPrecondition("table '" + stmt.table +
+                                        "' is read-only public space");
+    }
+    Env env;
+    env.bindings.push_back(Binding{table->schema.name, &table->schema, 0});
+    std::vector<std::pair<size_t, const Expr*>> sets;
+    for (const auto& [column, expr] : stmt.assignments) {
+      GENALG_ASSIGN_OR_RETURN(size_t idx,
+                              table->schema.ColumnIndex(column));
+      sets.emplace_back(idx, expr.get());
+    }
+    GENALG_ASSIGN_OR_RETURN(auto matches,
+                            Matches(table, stmt.where.get()));
+    for (auto& [rid, row] : matches) {
+      Row updated = row;
+      for (const auto& [idx, expr] : sets) {
+        GENALG_ASSIGN_OR_RETURN(Datum d, Eval(*expr, row, env));
+        updated[idx] = std::move(d);
+      }
+      GENALG_RETURN_IF_ERROR(table->heap->Delete(rid));
+      GENALG_RETURN_IF_ERROR(db_->MaintainIndexesOnDelete(table, row, rid));
+      BytesWriter w;
+      SerializeRow(updated, &w);
+      GENALG_ASSIGN_OR_RETURN(RecordId new_rid,
+                              table->heap->Insert(w.data()));
+      GENALG_RETURN_IF_ERROR(
+          db_->MaintainIndexesOnInsert(table, updated, new_rid));
+    }
+    QueryResult r;
+    r.message = "updated " + std::to_string(matches.size()) + " rows";
+    return r;
+  }
+
+  Database* db_;
+  bool privileged_;
+};
+
+Result<QueryResult> Database::Execute(std::string_view sql,
+                                      bool privileged) {
+  last_rows_scanned_ = 0;
+  GENALG_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  Executor executor(this, privileged);
+  return executor.Run(stmt);
+}
+
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x47414C43;  // "GALC".
+
+}  // namespace
+
+Status Database::SaveCatalog(const std::string& catalog_path) {
+  GENALG_RETURN_IF_ERROR(pool_->FlushAll());
+  BytesWriter w;
+  w.PutU32(kCatalogMagic);
+  w.PutVarint(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    w.PutString(name);
+    w.PutU8(table->schema.space == Space::kPublic ? 1 : 0);
+    w.PutVarint(table->schema.columns.size());
+    for (const ColumnInfo& col : table->schema.columns) {
+      w.PutString(col.name);
+      w.PutU8(static_cast<uint8_t>(col.type.kind));
+      w.PutString(col.type.udt_name);
+    }
+    w.PutU32(table->heap->first_page());
+    w.PutVarint(table->btrees.size());
+    for (const auto& btree : table->btrees) w.PutString(btree->column);
+    w.PutVarint(table->kmers.size());
+    for (const auto& kmer : table->kmers) {
+      w.PutString(kmer->column);
+      w.PutVarint(kmer->k);
+    }
+  }
+  std::FILE* file = std::fopen(catalog_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot write catalog '" + catalog_path + "'");
+  }
+  size_t written = std::fwrite(w.data().data(), 1, w.size(), file);
+  std::fclose(file);
+  if (written != w.size()) {
+    return Status::IoError("short catalog write");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::Attach(
+    const Adapter* adapter, std::unique_ptr<DiskManager> disk,
+    const std::string& catalog_path, size_t pool_pages) {
+  std::FILE* file = std::fopen(catalog_path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot read catalog '" + catalog_path + "'");
+  }
+  std::vector<uint8_t> blob;
+  uint8_t chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    blob.insert(blob.end(), chunk, chunk + n);
+  }
+  std::fclose(file);
+
+  auto db = std::make_unique<Database>(adapter, std::move(disk),
+                                       pool_pages);
+  BytesReader r(blob);
+  GENALG_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kCatalogMagic) {
+    return Status::Corruption("not a GenAlg catalog file");
+  }
+  GENALG_ASSIGN_OR_RETURN(uint64_t table_count, r.GetVarint());
+  for (uint64_t t = 0; t < table_count; ++t) {
+    auto data = std::make_unique<TableData>();
+    GENALG_ASSIGN_OR_RETURN(data->schema.name, r.GetString());
+    GENALG_ASSIGN_OR_RETURN(uint8_t space, r.GetU8());
+    data->schema.space = space == 1 ? Space::kPublic : Space::kUser;
+    GENALG_ASSIGN_OR_RETURN(uint64_t column_count, r.GetVarint());
+    for (uint64_t c = 0; c < column_count; ++c) {
+      ColumnInfo col;
+      GENALG_ASSIGN_OR_RETURN(col.name, r.GetString());
+      GENALG_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+      if (kind > static_cast<uint8_t>(DatumKind::kUdt)) {
+        return Status::Corruption("invalid column kind in catalog");
+      }
+      col.type.kind = static_cast<DatumKind>(kind);
+      GENALG_ASSIGN_OR_RETURN(col.type.udt_name, r.GetString());
+      if (col.type.kind == DatumKind::kUdt &&
+          !adapter->HasUdt(col.type.udt_name)) {
+        return Status::NotFound("catalog references unregistered UDT '" +
+                                col.type.udt_name + "'");
+      }
+      data->schema.columns.push_back(std::move(col));
+    }
+    GENALG_ASSIGN_OR_RETURN(uint32_t first_page, r.GetU32());
+    GENALG_ASSIGN_OR_RETURN(HeapFile heap,
+                            HeapFile::Attach(db->pool_.get(), first_page));
+    data->heap = std::make_unique<HeapFile>(std::move(heap));
+    std::string table_name = data->schema.name;
+    db->tables_.emplace(table_name, std::move(data));
+    // Indexes are rebuilt by backfill over the attached heap.
+    GENALG_ASSIGN_OR_RETURN(uint64_t btree_count, r.GetVarint());
+    for (uint64_t i = 0; i < btree_count; ++i) {
+      GENALG_ASSIGN_OR_RETURN(std::string column, r.GetString());
+      GENALG_RETURN_IF_ERROR(db->CreateBTreeIndex(table_name, column));
+    }
+    GENALG_ASSIGN_OR_RETURN(uint64_t kmer_count, r.GetVarint());
+    for (uint64_t i = 0; i < kmer_count; ++i) {
+      GENALG_ASSIGN_OR_RETURN(std::string column, r.GetString());
+      GENALG_ASSIGN_OR_RETURN(uint64_t k, r.GetVarint());
+      GENALG_RETURN_IF_ERROR(
+          db->CreateKmerIndex(table_name, column, static_cast<size_t>(k)));
+    }
+  }
+  return db;
+}
+
+Result<std::string> Database::Explain(std::string_view sql) {
+  GENALG_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  const SelectStmt* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument("EXPLAIN covers SELECT statements only");
+  }
+  Executor executor(this, /*privileged=*/false);
+  return executor.ExplainSelect(*select);
+}
+
+}  // namespace genalg::udb

@@ -1,0 +1,136 @@
+#ifndef GENALG_UDB_DATUM_H_
+#define GENALG_UDB_DATUM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "base/bytes.h"
+#include "base/result.h"
+
+namespace genalg::udb {
+
+/// The kinds of values the DBMS itself understands. Everything genomic is
+/// kUdt: an opaque byte string tagged with its registered type name — the
+/// paper's opaque user-defined types (Sec. 6.2), "whose internal and
+/// mostly complex structure is unknown to the DBMS. The database provides
+/// storage for the type instances."
+enum class DatumKind : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kReal = 3,
+  kString = 4,
+  kUdt = 5,
+};
+
+/// An opaque UDT instance as the engine stores it.
+struct UdtPayload {
+  std::string type_name;          ///< Registered UDT, e.g. "nucseq".
+  std::vector<uint8_t> bytes;     ///< Flat serialized value.
+
+  bool operator==(const UdtPayload& other) const {
+    return type_name == other.type_name && bytes == other.bytes;
+  }
+};
+
+/// One cell of a row.
+class Datum {
+ public:
+  /// Constructs NULL.
+  Datum() = default;
+
+  static Datum Null() { return Datum(); }
+  static Datum Bool(bool v) { return Datum(Payload(v)); }
+  static Datum Int(int64_t v) { return Datum(Payload(v)); }
+  static Datum Real(double v) { return Datum(Payload(v)); }
+  static Datum String(std::string v) { return Datum(Payload(std::move(v))); }
+  static Datum Udt(std::string type_name, std::vector<uint8_t> bytes) {
+    return Datum(Payload(UdtPayload{std::move(type_name), std::move(bytes)}));
+  }
+
+  DatumKind kind() const { return static_cast<DatumKind>(payload_.index()); }
+  bool is_null() const { return kind() == DatumKind::kNull; }
+
+  Result<bool> AsBool() const { return As<bool>("bool"); }
+  Result<int64_t> AsInt() const { return As<int64_t>("int"); }
+  Result<double> AsReal() const { return As<double>("real"); }
+  Result<std::string> AsString() const { return As<std::string>("string"); }
+  Result<UdtPayload> AsUdt() const { return As<UdtPayload>("udt"); }
+
+  /// Numeric coercion: int or real -> double.
+  Result<double> AsNumber() const;
+
+  bool operator==(const Datum& other) const {
+    return payload_ == other.payload_;
+  }
+  bool operator!=(const Datum& other) const { return !(*this == other); }
+
+  /// Three-way comparison for ORDER BY / index keys. Comparable: same
+  /// kind, or int vs real (numeric). NULL sorts first. UDTs compare by
+  /// type name then bytes (a stable but semantically blind order, which is
+  /// all the engine may assume about opaque types).
+  Result<int> Compare(const Datum& other) const;
+
+  /// Order-preserving byte encoding for B+-tree keys: memcmp order of the
+  /// encodings equals Compare order within a kind.
+  std::string OrderKey() const;
+
+  void Serialize(BytesWriter* out) const;
+  static Result<Datum> Deserialize(BytesReader* in);
+
+  /// Display rendering ("NULL", 42, 'text', <nucseq:12B>).
+  std::string ToString() const;
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string,
+                   UdtPayload>;
+
+  explicit Datum(Payload payload) : payload_(std::move(payload)) {}
+
+  template <typename T>
+  Result<T> As(const char* what) const {
+    if (const T* v = std::get_if<T>(&payload_)) return *v;
+    return Status::InvalidArgument(std::string("datum is not of kind ") +
+                                   what);
+  }
+
+  Payload payload_;
+};
+
+/// A row is a flat vector of cells, positionally matching its schema.
+using Row = std::vector<Datum>;
+
+/// Serializes a row for heap-file storage.
+void SerializeRow(const Row& row, BytesWriter* out);
+Result<Row> DeserializeRow(BytesReader* in);
+
+/// Column type: a DBMS-native kind, or a named opaque UDT.
+struct ColumnType {
+  DatumKind kind = DatumKind::kNull;
+  std::string udt_name;  ///< Set iff kind == kUdt.
+
+  static ColumnType Bool() { return {DatumKind::kBool, ""}; }
+  static ColumnType Int() { return {DatumKind::kInt, ""}; }
+  static ColumnType Real() { return {DatumKind::kReal, ""}; }
+  static ColumnType String() { return {DatumKind::kString, ""}; }
+  static ColumnType Udt(std::string name) {
+    return {DatumKind::kUdt, std::move(name)};
+  }
+
+  bool operator==(const ColumnType& other) const {
+    return kind == other.kind && udt_name == other.udt_name;
+  }
+
+  std::string ToString() const;
+
+  /// True iff a datum may be stored in this column (NULL always may).
+  bool Accepts(const Datum& datum) const;
+};
+
+}  // namespace genalg::udb
+
+#endif  // GENALG_UDB_DATUM_H_

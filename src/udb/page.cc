@@ -1,0 +1,67 @@
+#include "udb/page.h"
+
+namespace genalg::udb {
+
+void SlottedPage::Init() {
+  set_slot_count(0);
+  set_free_end(static_cast<uint16_t>(kPageSize));
+  set_next_page(kInvalidPageId);
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t directory_end = kHeaderSize + slot_count() * kSlotSize;
+  size_t end = free_end();
+  if (end < directory_end + kSlotSize) return 0;
+  return end - directory_end - kSlotSize;
+}
+
+Result<uint16_t> SlottedPage::Insert(const uint8_t* record, size_t size) {
+  if (size > 0xFFFE) {
+    return Status::InvalidArgument("record exceeds maximum page record size");
+  }
+  if (FreeSpace() < size) {
+    return Status::ResourceExhausted("page full");
+  }
+  uint16_t count = slot_count();
+  uint16_t offset = static_cast<uint16_t>(free_end() - size);
+  std::memcpy(data_ + offset, record, size);
+  SetU16(SlotOffset(count), offset);
+  SetU16(SlotOffset(count) + 2, static_cast<uint16_t>(size));
+  set_free_end(offset);
+  set_slot_count(count + 1);
+  return count;
+}
+
+Result<std::pair<const uint8_t*, size_t>> SlottedPage::Get(
+    uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  uint16_t length = GetU16(SlotOffset(slot) + 2);
+  if (length == kTombstone) {
+    return Status::NotFound("slot " + std::to_string(slot) + " deleted");
+  }
+  uint16_t offset = GetU16(SlotOffset(slot));
+  return std::make_pair(static_cast<const uint8_t*>(data_ + offset),
+                        static_cast<size_t>(length));
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " out of range");
+  }
+  SetU16(SlotOffset(slot) + 2, kTombstone);
+  return Status::OK();
+}
+
+size_t SlottedPage::LiveRecords() const {
+  size_t live = 0;
+  for (uint16_t slot = 0; slot < slot_count(); ++slot) {
+    if (GetU16(SlotOffset(slot) + 2) != kTombstone) ++live;
+  }
+  return live;
+}
+
+}  // namespace genalg::udb

@@ -1,0 +1,106 @@
+#ifndef GENALG_UDB_PAGE_H_
+#define GENALG_UDB_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace genalg::udb {
+
+/// Fixed page size of the storage engine.
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFF;
+
+/// Identifies a record: which page, which slot.
+struct RecordId {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  bool operator==(const RecordId& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  bool operator<(const RecordId& other) const {
+    return page != other.page ? page < other.page : slot < other.slot;
+  }
+};
+
+/// A slotted page: records grow from the end, the slot directory grows
+/// from the front. Layout (little-endian u16 fields):
+///
+///   [slot_count][free_end][next_page lo][next_page hi]
+///   [slot 0: offset, length] [slot 1] ...        ... record bytes ...
+///
+/// length == 0xFFFF marks a deleted slot (tombstone). Records are raw
+/// byte strings; interpretation belongs to higher layers. This is the
+/// "compact storage area efficiently transferred between main memory and
+/// disk" (Sec. 4.4) at the engine level.
+class SlottedPage {
+ public:
+  /// Wraps (does not own) one page-sized buffer.
+  explicit SlottedPage(uint8_t* data) : data_(data) {}
+
+  /// Formats an empty page.
+  void Init();
+
+  uint16_t slot_count() const { return GetU16(0); }
+
+  /// Linked-list pointer to the next page of the heap file.
+  PageId next_page() const {
+    return static_cast<PageId>(GetU16(4)) |
+           (static_cast<PageId>(GetU16(6)) << 16);
+  }
+  void set_next_page(PageId id) {
+    SetU16(4, static_cast<uint16_t>(id & 0xFFFF));
+    SetU16(6, static_cast<uint16_t>(id >> 16));
+  }
+
+  /// Contiguous free bytes currently available for one more record plus
+  /// its slot entry.
+  size_t FreeSpace() const;
+
+  /// Inserts a record; ResourceExhausted if it does not fit. Returns the
+  /// slot number.
+  Result<uint16_t> Insert(const uint8_t* record, size_t size);
+
+  /// Reads a record; NotFound for tombstoned or out-of-range slots. The
+  /// returned view aliases the page buffer.
+  Result<std::pair<const uint8_t*, size_t>> Get(uint16_t slot) const;
+
+  /// Tombstones a slot.
+  Status Delete(uint16_t slot);
+
+  /// Number of live (non-tombstoned) records.
+  size_t LiveRecords() const;
+
+ private:
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr size_t kSlotSize = 4;
+  static constexpr uint16_t kTombstone = 0xFFFF;
+
+  uint16_t GetU16(size_t offset) const {
+    uint16_t v;
+    std::memcpy(&v, data_ + offset, 2);
+    return v;
+  }
+  void SetU16(size_t offset, uint16_t v) {
+    std::memcpy(data_ + offset, &v, 2);
+  }
+  uint16_t free_end() const { return GetU16(2); }
+  void set_free_end(uint16_t v) { SetU16(2, v); }
+  void set_slot_count(uint16_t v) { SetU16(0, v); }
+  size_t SlotOffset(uint16_t slot) const {
+    return kHeaderSize + slot * kSlotSize;
+  }
+
+  uint8_t* data_;
+};
+
+}  // namespace genalg::udb
+
+#endif  // GENALG_UDB_PAGE_H_

@@ -1,0 +1,109 @@
+#ifndef GENALG_UDB_SQL_AST_H_
+#define GENALG_UDB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "udb/datum.h"
+
+namespace genalg::udb {
+
+/// Expression tree of the SQL dialect. User-defined operators (the
+/// Genomics Algebra functions of Sec. 6.3) appear as kCall nodes and are
+/// legal "wherever expressions may occur": select list, WHERE, GROUP BY,
+/// ORDER BY.
+struct Expr {
+  enum class Kind {
+    kLiteral,  ///< A constant datum.
+    kColumn,   ///< table.column or column.
+    kUnary,    ///< op in {-, NOT}.
+    kBinary,   ///< op in {+,-,*,/,=,!=,<,<=,>,>=,AND,OR}.
+    kCall,     ///< fn(args) — aggregate or algebra operator.
+    kStar,     ///< '*' (only as COUNT(*) argument or select list).
+  };
+
+  Kind kind = Kind::kLiteral;
+  Datum literal;                       // kLiteral.
+  std::string table;                   // kColumn (may be empty).
+  std::string column;                  // kColumn.
+  std::string op;                      // kUnary / kBinary.
+  std::string func;                    // kCall, lowercased.
+  std::vector<std::unique_ptr<Expr>> args;
+
+  /// Parseable-ish rendering for error messages and result headers.
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One output column of a SELECT.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // Optional AS name.
+};
+
+/// One table in the FROM clause.
+struct TableRef {
+  std::string name;
+  std::string alias;  // Defaults to name.
+};
+
+struct SelectStmt {
+  bool select_star = false;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> tables;
+  ExprPtr where;                                  // May be null.
+  std::vector<ExprPtr> group_by;
+  std::vector<std::pair<ExprPtr, bool>> order_by;  // (expr, ascending).
+  int64_t limit = -1;                              // -1 = no limit.
+};
+
+struct ColumnDef {
+  std::string name;
+  std::string type_name;  // INT, REAL, TEXT, BOOL, or a UDT name.
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+  bool user_space = true;  // SPACE PUBLIC makes it warehouse-owned.
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::string column;
+  std::string method;  // "btree" (default) or "kmer".
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // May be null (delete all).
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // May be null.
+};
+
+using Statement =
+    std::variant<SelectStmt, CreateTableStmt, DropTableStmt,
+                 CreateIndexStmt, InsertStmt, DeleteStmt, UpdateStmt>;
+
+}  // namespace genalg::udb
+
+#endif  // GENALG_UDB_SQL_AST_H_

@@ -1,0 +1,625 @@
+#include "udb/sql_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace genalg::udb {
+
+namespace {
+
+// ------------------------------------------------------------- Lexer. ---
+
+enum class TokenKind {
+  kKeywordOrIdent,  // Case-insensitive word.
+  kNumber,          // Integer or real literal.
+  kString,          // 'quoted' literal.
+  kSymbol,          // Operators and punctuation.
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // Uppercased for words, verbatim otherwise.
+  std::string raw;     // Original spelling (identifiers keep case).
+  bool is_real = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= sql_.size()) break;
+      char c = sql_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(Word());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' && pos_ + 1 < sql_.size() &&
+                  std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+        GENALG_ASSIGN_OR_RETURN(Token t, Number());
+        tokens.push_back(std::move(t));
+      } else if (c == '\'') {
+        GENALG_ASSIGN_OR_RETURN(Token t, QuotedString());
+        tokens.push_back(std::move(t));
+      } else {
+        GENALG_ASSIGN_OR_RETURN(Token t, Symbol());
+        tokens.push_back(std::move(t));
+      }
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", "", false});
+    return tokens;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < sql_.size()) {
+      if (std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+        ++pos_;
+      } else if (sql_[pos_] == '-' && pos_ + 1 < sql_.size() &&
+                 sql_[pos_ + 1] == '-') {
+        while (pos_ < sql_.size() && sql_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Word() {
+    size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string raw(sql_.substr(start, pos_ - start));
+    return Token{TokenKind::kKeywordOrIdent, ToUpperAscii(raw), raw, false};
+  }
+
+  Result<Token> Number() {
+    size_t start = pos_;
+    bool real = false;
+    while (pos_ < sql_.size() &&
+           (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '.')) {
+      if (sql_[pos_] == '.') {
+        if (real) return Status::InvalidArgument("malformed number");
+        real = true;
+      }
+      ++pos_;
+    }
+    std::string raw(sql_.substr(start, pos_ - start));
+    return Token{TokenKind::kNumber, raw, raw, real};
+  }
+
+  Result<Token> QuotedString() {
+    ++pos_;  // Opening quote.
+    std::string value;
+    while (true) {
+      if (pos_ >= sql_.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      char c = sql_[pos_++];
+      if (c == '\'') {
+        if (pos_ < sql_.size() && sql_[pos_] == '\'') {
+          value.push_back('\'');  // '' escape.
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      value.push_back(c);
+    }
+    return Token{TokenKind::kString, value, value, false};
+  }
+
+  Result<Token> Symbol() {
+    static constexpr std::string_view kTwoChar[] = {"!=", "<=", ">=", "<>"};
+    for (std::string_view two : kTwoChar) {
+      if (sql_.substr(pos_, 2) == two) {
+        pos_ += 2;
+        return Token{TokenKind::kSymbol,
+                     std::string(two == "<>" ? "!=" : two), std::string(two),
+                     false};
+      }
+    }
+    char c = sql_[pos_];
+    static constexpr std::string_view kOneChar = "()+-*/=<>,.;";
+    if (kOneChar.find(c) == std::string_view::npos) {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "'");
+    }
+    ++pos_;
+    return Token{TokenKind::kSymbol, std::string(1, c), std::string(1, c),
+                 false};
+  }
+
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ Parser. ---
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    GENALG_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    (void)AcceptSymbol(";");
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing tokens after statement: '" +
+                                     Peek().raw + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  Result<Statement> ParseStatementInner() {
+    if (AcceptKeyword("SELECT")) return ParseSelect();
+    if (AcceptKeyword("CREATE")) {
+      if (AcceptKeyword("TABLE")) return ParseCreateTable();
+      if (AcceptKeyword("INDEX")) return ParseCreateIndex();
+      return Status::InvalidArgument("expected TABLE or INDEX after CREATE");
+    }
+    if (AcceptKeyword("DROP")) {
+      GENALG_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+      GENALG_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+      return Statement(DropTableStmt{std::move(name)});
+    }
+    if (AcceptKeyword("INSERT")) return ParseInsert();
+    if (AcceptKeyword("DELETE")) return ParseDelete();
+    if (AcceptKeyword("UPDATE")) return ParseUpdate();
+    return Status::InvalidArgument("unrecognized statement start: '" +
+                                   Peek().raw + "'");
+  }
+
+  // ------------------------------------------------------- Statements.
+
+  Result<Statement> ParseSelect() {
+    SelectStmt stmt;
+    stmt.distinct = AcceptKeyword("DISTINCT");
+    if (AcceptSymbol("*")) {
+      stmt.select_star = true;
+    } else {
+      do {
+        SelectItem item;
+        GENALG_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          GENALG_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        }
+        stmt.items.push_back(std::move(item));
+      } while (AcceptSymbol(","));
+    }
+    GENALG_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    ExprPtr join_filter;
+    do {
+      TableRef ref;
+      GENALG_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
+      if (PeekIsIdentifier() && !PeekIsKeywordAny()) {
+        GENALG_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+      } else {
+        ref.alias = ref.name;
+      }
+      stmt.tables.push_back(std::move(ref));
+      while (AcceptKeyword("JOIN")) {
+        TableRef joined;
+        GENALG_ASSIGN_OR_RETURN(joined.name, ExpectIdentifier());
+        if (PeekIsIdentifier() && !PeekIsKeywordAny()) {
+          GENALG_ASSIGN_OR_RETURN(joined.alias, ExpectIdentifier());
+        } else {
+          joined.alias = joined.name;
+        }
+        stmt.tables.push_back(std::move(joined));
+        GENALG_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        GENALG_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+        join_filter = join_filter
+                          ? MakeBinary("AND", std::move(join_filter),
+                                       std::move(on))
+                          : std::move(on);
+      }
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("WHERE")) {
+      GENALG_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (join_filter) {
+      stmt.where = stmt.where ? MakeBinary("AND", std::move(join_filter),
+                                           std::move(stmt.where))
+                              : std::move(join_filter);
+    }
+    if (AcceptKeyword("GROUP")) {
+      GENALG_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        GENALG_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("ORDER")) {
+      GENALG_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        GENALG_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        bool ascending = true;
+        if (AcceptKeyword("DESC")) {
+          ascending = false;
+        } else {
+          (void)AcceptKeyword("ASC");
+        }
+        stmt.order_by.emplace_back(std::move(e), ascending);
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kNumber || Peek().is_real) {
+        return Status::InvalidArgument("LIMIT expects an integer");
+      }
+      stmt.limit = std::atoll(Next().text.c_str());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCreateTable() {
+    CreateTableStmt stmt;
+    GENALG_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    GENALG_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      ColumnDef col;
+      GENALG_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      GENALG_ASSIGN_OR_RETURN(std::string type_raw, ExpectIdentifier());
+      col.type_name = ToLowerAscii(type_raw);
+      stmt.columns.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+    GENALG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (AcceptKeyword("SPACE")) {
+      if (AcceptKeyword("PUBLIC")) {
+        stmt.user_space = false;
+      } else if (AcceptKeyword("USER")) {
+        stmt.user_space = true;
+      } else {
+        return Status::InvalidArgument("SPACE expects PUBLIC or USER");
+      }
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCreateIndex() {
+    CreateIndexStmt stmt;
+    GENALG_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdentifier());
+    GENALG_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    GENALG_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    GENALG_RETURN_IF_ERROR(ExpectSymbol("("));
+    GENALG_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier());
+    GENALG_RETURN_IF_ERROR(ExpectSymbol(")"));
+    stmt.method = "btree";
+    if (AcceptKeyword("USING")) {
+      GENALG_ASSIGN_OR_RETURN(std::string method, ExpectIdentifier());
+      stmt.method = ToLowerAscii(method);
+      if (stmt.method != "btree" && stmt.method != "kmer") {
+        return Status::InvalidArgument("index method must be BTREE or KMER");
+      }
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    GENALG_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    GENALG_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    GENALG_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      GENALG_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      do {
+        GENALG_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (AcceptSymbol(","));
+      GENALG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    GENALG_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    GENALG_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (AcceptKeyword("WHERE")) {
+      GENALG_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseUpdate() {
+    UpdateStmt stmt;
+    GENALG_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    GENALG_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      GENALG_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      GENALG_RETURN_IF_ERROR(ExpectSymbol("="));
+      GENALG_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.assignments.emplace_back(std::move(col), std::move(e));
+    } while (AcceptSymbol(","));
+    if (AcceptKeyword("WHERE")) {
+      GENALG_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  // ------------------------------------------------------ Expressions.
+
+  // Precedence: OR < AND < NOT < comparison < additive < multiplicative
+  // < unary < primary.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    GENALG_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      GENALG_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary("OR", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    GENALG_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (AcceptKeyword("AND")) {
+      GENALG_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary("AND", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      GENALG_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "NOT";
+      e->args.push_back(std::move(inner));
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    GENALG_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    for (const char* op : {"=", "!=", "<=", ">=", "<", ">"}) {
+      if (AcceptSymbol(op)) {
+        GENALG_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    if (AcceptKeyword("LIKE")) {
+      GENALG_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return MakeBinary("LIKE", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    GENALG_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        GENALG_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = MakeBinary("+", std::move(left), std::move(right));
+      } else if (AcceptSymbol("-")) {
+        GENALG_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+        left = MakeBinary("-", std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    GENALG_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        GENALG_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = MakeBinary("*", std::move(left), std::move(right));
+      } else if (AcceptSymbol("/")) {
+        GENALG_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = MakeBinary("/", std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      GENALG_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "-";
+      e->args.push_back(std::move(inner));
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kNumber) {
+      Next();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->literal = t.is_real ? Datum::Real(std::atof(t.text.c_str()))
+                             : Datum::Int(std::atoll(t.text.c_str()));
+      return e;
+    }
+    if (t.kind == TokenKind::kString) {
+      Next();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kLiteral;
+      e->literal = Datum::String(t.text);
+      return e;
+    }
+    if (AcceptSymbol("(")) {
+      GENALG_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      GENALG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (AcceptSymbol("*")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kStar;
+      return e;
+    }
+    if (t.kind == TokenKind::kKeywordOrIdent) {
+      if (t.text == "TRUE" || t.text == "FALSE") {
+        Next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Datum::Bool(t.text == "TRUE");
+        return e;
+      }
+      if (t.text == "NULL") {
+        Next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kLiteral;
+        return e;
+      }
+      Next();
+      std::string first = t.raw;
+      // Function call?
+      if (AcceptSymbol("(")) {
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kCall;
+        e->func = ToLowerAscii(first);
+        if (!AcceptSymbol(")")) {
+          do {
+            GENALG_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            e->args.push_back(std::move(arg));
+          } while (AcceptSymbol(","));
+          GENALG_RETURN_IF_ERROR(ExpectSymbol(")"));
+        }
+        return e;
+      }
+      // Qualified column?
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kColumn;
+      if (AcceptSymbol(".")) {
+        e->table = first;
+        GENALG_ASSIGN_OR_RETURN(e->column, ExpectIdentifier());
+      } else {
+        e->column = first;
+      }
+      return e;
+    }
+    return Status::InvalidArgument("unexpected token '" + t.raw +
+                                   "' in expression");
+  }
+
+  // --------------------------------------------------------- Helpers.
+
+  static ExprPtr MakeBinary(std::string op, ExprPtr left, ExprPtr right) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = std::move(op);
+    e->args.push_back(std::move(left));
+    e->args.push_back(std::move(right));
+    return e;
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().kind == TokenKind::kKeywordOrIdent && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument("expected " + std::string(kw) +
+                                     ", got '" + Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+
+  bool AcceptSymbol(std::string_view sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(std::string_view sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::InvalidArgument("expected '" + std::string(sym) +
+                                     "', got '" + Peek().raw + "'");
+    }
+    return Status::OK();
+  }
+
+  bool PeekIsIdentifier() const {
+    return Peek().kind == TokenKind::kKeywordOrIdent;
+  }
+
+  // True if the next word is a clause keyword (so a bare identifier after
+  // a table name is an alias only when it is NOT one of these).
+  bool PeekIsKeywordAny() const {
+    static constexpr std::string_view kClauseKeywords[] = {
+        "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN",   "ON",
+        "AS",    "SET",   "SPACE", "USING", "VALUES", "FROM"};
+    if (Peek().kind != TokenKind::kKeywordOrIdent) return false;
+    for (std::string_view kw : kClauseKeywords) {
+      if (Peek().text == kw) return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kKeywordOrIdent) {
+      return Status::InvalidArgument("expected identifier, got '" +
+                                     Peek().raw + "'");
+    }
+    return Next().raw;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseSql(std::string_view sql) {
+  Lexer lexer(sql);
+  GENALG_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kColumn:
+      return table.empty() ? column : table + "." + column;
+    case Kind::kStar:
+      return "*";
+    case Kind::kUnary:
+      return op + "(" + args[0]->ToString() + ")";
+    case Kind::kBinary:
+      return "(" + args[0]->ToString() + " " + op + " " +
+             args[1]->ToString() + ")";
+    case Kind::kCall: {
+      std::string out = func + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace genalg::udb

@@ -1,0 +1,21 @@
+#ifndef GENALG_UDB_SQL_PARSER_H_
+#define GENALG_UDB_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "udb/sql_ast.h"
+
+namespace genalg::udb {
+
+/// Parses one SQL statement (optionally ';'-terminated). The dialect
+/// covers the paper's needs: CREATE TABLE (with UDT column types and an
+/// optional SPACE PUBLIC|USER clause), DROP TABLE, CREATE INDEX ... USING
+/// BTREE|KMER, INSERT, SELECT (joins via comma/JOIN..ON, WHERE, GROUP BY
+/// with aggregates, ORDER BY, LIMIT), UPDATE, and DELETE. Function calls
+/// anywhere an expression is legal route to the Genomics Algebra.
+Result<Statement> ParseSql(std::string_view sql);
+
+}  // namespace genalg::udb
+
+#endif  // GENALG_UDB_SQL_PARSER_H_

@@ -1,0 +1,305 @@
+#include "udb/storage.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+namespace genalg::udb {
+
+// --------------------------------------------------- MemoryDiskManager.
+
+Result<PageId> MemoryDiskManager::AllocatePage() {
+  auto page = std::make_unique<uint8_t[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemoryDiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(id) +
+                              " does not exist");
+  }
+  ++reads_;
+  std::memcpy(out, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status MemoryDiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(id) +
+                              " does not exist");
+  }
+  ++writes_;
+  std::memcpy(pages_[id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+// ----------------------------------------------------- FileDiskManager.
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");
+  }
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::IoError("cannot size '" + path + "'");
+  }
+  return std::unique_ptr<FileDiskManager>(
+      new FileDiskManager(file, static_cast<size_t>(size) / kPageSize));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<PageId> FileDiskManager::AllocatePage() {
+  uint8_t zeros[kPageSize] = {};
+  if (std::fseek(file_, static_cast<long>(page_count_ * kPageSize),
+                 SEEK_SET) != 0 ||
+      std::fwrite(zeros, 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("failed to extend database file");
+  }
+  return static_cast<PageId>(page_count_++);
+}
+
+Status FileDiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) +
+                              " does not exist");
+  }
+  ++reads_;
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("failed to read page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) +
+                              " does not exist");
+  }
+  ++writes_;
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("failed to write page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ BufferPool.
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(std::max<size_t>(capacity, 2)) {
+  frames_.resize(capacity_);
+  for (Frame& frame : frames_) {
+    frame.data = std::make_unique<uint8_t[]>(kPageSize);
+  }
+}
+
+void BufferPool::TouchLru(size_t frame_index) {
+  lru_.remove(frame_index);
+  lru_.push_front(frame_index);
+}
+
+Result<size_t> BufferPool::FindVictim() {
+  // First use a never-used frame.
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].id == kInvalidPageId) return i;
+  }
+  // Otherwise the least recently used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    Frame& frame = frames_[*it];
+    if (frame.pin_count > 0) continue;
+    if (frame.dirty) {
+      GENALG_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
+      frame.dirty = false;
+    }
+    page_table_.erase(frame.id);
+    return *it;
+  }
+  return Status::ResourceExhausted("all buffer frames are pinned");
+}
+
+Result<uint8_t*> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    TouchLru(it->second);
+    return frame.data.get();
+  }
+  ++misses_;
+  GENALG_ASSIGN_OR_RETURN(size_t victim, FindVictim());
+  Frame& frame = frames_[victim];
+  GENALG_RETURN_IF_ERROR(disk_->ReadPage(id, frame.data.get()));
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_[id] = victim;
+  TouchLru(victim);
+  return frame.data.get();
+}
+
+Result<std::pair<PageId, uint8_t*>> BufferPool::NewPage() {
+  GENALG_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  GENALG_ASSIGN_OR_RETURN(size_t victim, FindVictim());
+  Frame& frame = frames_[victim];
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  page_table_[id] = victim;
+  TouchLru(victim);
+  return std::make_pair(id, frame.data.get());
+}
+
+Status BufferPool::UnpinPage(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) {
+    return Status::NotFound("page " + std::to_string(id) +
+                            " is not resident");
+  }
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count <= 0) {
+    return Status::FailedPrecondition("page " + std::to_string(id) +
+                                      " is not pinned");
+  }
+  --frame.pin_count;
+  frame.dirty = frame.dirty || dirty;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.id == kInvalidPageId || !frame.dirty) continue;
+    GENALG_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
+    frame.dirty = false;
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------------------- HeapFile.
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  GENALG_ASSIGN_OR_RETURN(auto page, pool->NewPage());
+  SlottedPage(page.second).Init();
+  GENALG_RETURN_IF_ERROR(pool->UnpinPage(page.first, /*dirty=*/true));
+  return HeapFile(pool, page.first);
+}
+
+Result<HeapFile> HeapFile::Attach(BufferPool* pool, PageId first_page) {
+  HeapFile heap(pool, first_page);
+  PageId current = first_page;
+  while (true) {
+    GENALG_ASSIGN_OR_RETURN(uint8_t* frame, pool->FetchPage(current));
+    PageId next = SlottedPage(frame).next_page();
+    GENALG_RETURN_IF_ERROR(pool->UnpinPage(current, /*dirty=*/false));
+    if (next == kInvalidPageId) break;
+    current = next;
+  }
+  heap.last_page_ = current;
+  return heap;
+}
+
+Result<RecordId> HeapFile::Insert(const std::vector<uint8_t>& record) {
+  // Try the last page first; chain a new page if it is full.
+  GENALG_ASSIGN_OR_RETURN(uint8_t* frame, pool_->FetchPage(last_page_));
+  SlottedPage page(frame);
+  auto slot = page.Insert(record.data(), record.size());
+  if (slot.ok()) {
+    GENALG_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, /*dirty=*/true));
+    return RecordId{last_page_, *slot};
+  }
+  if (!slot.status().IsResourceExhausted()) {
+    (void)pool_->UnpinPage(last_page_, /*dirty=*/false);
+    return slot.status();
+  }
+  auto new_page = pool_->NewPage();
+  if (!new_page.ok()) {
+    (void)pool_->UnpinPage(last_page_, /*dirty=*/false);
+    return new_page.status();
+  }
+  SlottedPage fresh(new_page->second);
+  fresh.Init();
+  page.set_next_page(new_page->first);
+  GENALG_RETURN_IF_ERROR(pool_->UnpinPage(last_page_, /*dirty=*/true));
+  last_page_ = new_page->first;
+  auto fresh_slot = fresh.Insert(record.data(), record.size());
+  Status unpin = pool_->UnpinPage(last_page_, /*dirty=*/true);
+  if (!fresh_slot.ok()) return fresh_slot.status();
+  GENALG_RETURN_IF_ERROR(unpin);
+  return RecordId{last_page_, *fresh_slot};
+}
+
+Result<std::vector<uint8_t>> HeapFile::Get(RecordId id) const {
+  GENALG_ASSIGN_OR_RETURN(uint8_t* frame, pool_->FetchPage(id.page));
+  SlottedPage page(frame);
+  auto record = page.Get(id.slot);
+  if (!record.ok()) {
+    (void)pool_->UnpinPage(id.page, /*dirty=*/false);
+    return record.status();
+  }
+  std::vector<uint8_t> out(record->first, record->first + record->second);
+  GENALG_RETURN_IF_ERROR(pool_->UnpinPage(id.page, /*dirty=*/false));
+  return out;
+}
+
+Status HeapFile::Delete(RecordId id) {
+  GENALG_ASSIGN_OR_RETURN(uint8_t* frame, pool_->FetchPage(id.page));
+  SlottedPage page(frame);
+  Status s = page.Delete(id.slot);
+  GENALG_RETURN_IF_ERROR(pool_->UnpinPage(id.page, s.ok()));
+  return s;
+}
+
+Result<RecordId> HeapFile::Update(RecordId id,
+                                  const std::vector<uint8_t>& record) {
+  GENALG_RETURN_IF_ERROR(Delete(id));
+  return Insert(record);
+}
+
+Status HeapFile::Scan(
+    const std::function<Status(RecordId, const uint8_t*, size_t)>& fn)
+    const {
+  PageId current = first_page_;
+  while (current != kInvalidPageId) {
+    GENALG_ASSIGN_OR_RETURN(uint8_t* frame, pool_->FetchPage(current));
+    SlottedPage page(frame);
+    PageId next = page.next_page();
+    for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
+      auto record = page.Get(slot);
+      if (!record.ok()) continue;  // Tombstone.
+      Status s = fn(RecordId{current, slot}, record->first, record->second);
+      if (!s.ok()) {
+        (void)pool_->UnpinPage(current, /*dirty=*/false);
+        return s;
+      }
+    }
+    GENALG_RETURN_IF_ERROR(pool_->UnpinPage(current, /*dirty=*/false));
+    current = next;
+  }
+  return Status::OK();
+}
+
+Result<size_t> HeapFile::Count() const {
+  size_t count = 0;
+  GENALG_RETURN_IF_ERROR(
+      Scan([&count](RecordId, const uint8_t*, size_t) -> Status {
+        ++count;
+        return Status::OK();
+      }));
+  return count;
+}
+
+}  // namespace genalg::udb

@@ -1,0 +1,179 @@
+#ifndef GENALG_UDB_STORAGE_H_
+#define GENALG_UDB_STORAGE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "udb/page.h"
+
+namespace genalg::udb {
+
+/// Page-granular storage. Two implementations: a file-backed manager (the
+/// warehouse's persistent store) and an in-memory one (tests, benches,
+/// ephemeral user space).
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Allocates a zeroed page and returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Reads a full page into `out` (kPageSize bytes).
+  virtual Status ReadPage(PageId id, uint8_t* out) = 0;
+
+  /// Writes a full page from `data`.
+  virtual Status WritePage(PageId id, const uint8_t* data) = 0;
+
+  virtual size_t PageCount() const = 0;
+
+  /// Total I/O operations performed (for the benchmarks).
+  virtual uint64_t ReadCount() const = 0;
+  virtual uint64_t WriteCount() const = 0;
+};
+
+/// Heap pages held in RAM.
+class MemoryDiskManager : public DiskManager {
+ public:
+  MemoryDiskManager() = default;
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, uint8_t* out) override;
+  Status WritePage(PageId id, const uint8_t* data) override;
+  size_t PageCount() const override { return pages_.size(); }
+  uint64_t ReadCount() const override { return reads_; }
+  uint64_t WriteCount() const override { return writes_; }
+
+ private:
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// Pages stored in a file on disk.
+class FileDiskManager : public DiskManager {
+ public:
+  /// Opens (creating if needed) the backing file.
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+
+  ~FileDiskManager() override;
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, uint8_t* out) override;
+  Status WritePage(PageId id, const uint8_t* data) override;
+  size_t PageCount() const override { return page_count_; }
+  uint64_t ReadCount() const override { return reads_; }
+  uint64_t WriteCount() const override { return writes_; }
+
+ private:
+  FileDiskManager(std::FILE* file, size_t page_count)
+      : file_(file), page_count_(page_count) {}
+
+  std::FILE* file_;
+  size_t page_count_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// A fixed-capacity LRU buffer pool. Callers fetch (pin) pages, mutate
+/// them in place, and unpin with a dirty flag; clean unpinned frames are
+/// evicted silently, dirty ones written back first.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins a page and returns its in-memory frame. ResourceExhausted if
+  /// every frame is pinned.
+  Result<uint8_t*> FetchPage(PageId id);
+
+  /// Allocates a fresh page, pins it, and returns (id, frame).
+  Result<std::pair<PageId, uint8_t*>> NewPage();
+
+  /// Releases one pin; `dirty` marks the frame for write-back.
+  Status UnpinPage(PageId id, bool dirty);
+
+  /// Writes every dirty frame back to disk.
+  Status FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  // Evicts one unpinned frame; ResourceExhausted if none.
+  Result<size_t> FindVictim();
+  void TouchLru(size_t frame_index);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // Front = most recently used.
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// An unordered collection of records spread over a linked list of slotted
+/// pages, with insert/get/delete/scan. The physical home of every table.
+class HeapFile {
+ public:
+  /// Creates a new heap file with one empty page.
+  static Result<HeapFile> Create(BufferPool* pool);
+
+  /// Re-opens an existing heap file by its first page (walks the page
+  /// chain to find the tail). Used when attaching a persisted database.
+  static Result<HeapFile> Attach(BufferPool* pool, PageId first_page);
+
+  /// Inserts a record, growing the file as needed.
+  Result<RecordId> Insert(const std::vector<uint8_t>& record);
+
+  /// Copies the record out; NotFound for deleted/unknown ids.
+  Result<std::vector<uint8_t>> Get(RecordId id) const;
+
+  /// Tombstones a record.
+  Status Delete(RecordId id);
+
+  /// Replaces a record; the new version may land at a new RecordId
+  /// (returned).
+  Result<RecordId> Update(RecordId id, const std::vector<uint8_t>& record);
+
+  /// Calls `fn(record_id, bytes, size)` for every live record; stops early
+  /// if fn returns a non-OK status (which is then returned).
+  Status Scan(const std::function<Status(RecordId, const uint8_t*, size_t)>&
+                  fn) const;
+
+  /// Number of live records (full scan).
+  Result<size_t> Count() const;
+
+  PageId first_page() const { return first_page_; }
+
+ private:
+  HeapFile(BufferPool* pool, PageId first_page)
+      : pool_(pool), first_page_(first_page), last_page_(first_page) {}
+
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId last_page_;
+};
+
+}  // namespace genalg::udb
+
+#endif  // GENALG_UDB_STORAGE_H_

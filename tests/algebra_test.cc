@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "algebra/signature.h"
+#include "algebra/term.h"
+#include "algebra/value.h"
+#include "seq/nucleotide_sequence.h"
+
+namespace genalg::algebra {
+namespace {
+
+using seq::NucleotideSequence;
+using seq::ProteinSequence;
+
+gdt::Gene MakeTestGene() {
+  gdt::Gene g;
+  g.id = "GENE1";
+  g.name = "testA";
+  g.sequence = NucleotideSequence::Dna("ATGAAAGTCCAGGTTTAA").value();
+  g.exons = {{0, 6}, {12, 18}};
+  return g;
+}
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RegisterStandardAlgebra(&registry_).ok());
+  }
+  SignatureRegistry registry_;
+};
+
+// ------------------------------------------------------------------ Value.
+
+TEST(ValueTest, SortsAndAccessors) {
+  EXPECT_EQ(Value().sort(), "null");
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value::Bool(true).sort(), kSortBool);
+  EXPECT_EQ(Value::Int(7).sort(), kSortInt);
+  EXPECT_EQ(Value::Real(2.5).sort(), kSortReal);
+  EXPECT_EQ(Value::String("x").sort(), kSortString);
+  EXPECT_EQ(Value::Int(7).AsInt().value(), 7);
+  EXPECT_EQ(Value::Real(2.5).AsReal().value(), 2.5);
+  EXPECT_EQ(Value::String("x").AsString().value(), "x");
+  // Wrong-sort access fails cleanly.
+  EXPECT_TRUE(Value::Int(7).AsBool().status().IsInvalidArgument());
+  EXPECT_TRUE(Value::Bool(true).AsNucSeq().status().IsInvalidArgument());
+}
+
+TEST(ValueTest, GdtSortsAndEquality) {
+  auto s = NucleotideSequence::Dna("ACGT").value();
+  Value v = Value::NucSeq(s);
+  EXPECT_EQ(v.sort(), kSortNucSeq);
+  EXPECT_EQ(v.AsNucSeq().value(), s);
+  EXPECT_EQ(v, Value::NucSeq(s));
+  EXPECT_NE(v, Value::NucSeq(NucleotideSequence::Dna("AC").value()));
+  Value g = Value::GeneVal(MakeTestGene());
+  EXPECT_EQ(g.sort(), kSortGene);
+  EXPECT_EQ(g.AsGene()->id, "GENE1");
+}
+
+TEST(ValueTest, OpaqueValuesCarryRuntimeSorts) {
+  OpaqueValue ov;
+  ov.sort = "spectrum";
+  ov.bytes = std::make_shared<std::vector<uint8_t>>(
+      std::vector<uint8_t>{1, 2, 3});
+  Value v = Value::Opaque(ov);
+  EXPECT_EQ(v.sort(), "spectrum");
+  EXPECT_EQ(v.AsOpaque()->bytes->size(), 3u);
+  EXPECT_EQ(v, Value::Opaque(ov));
+}
+
+TEST(ValueTest, DisplayStringsAreCompact) {
+  EXPECT_EQ(Value::Bool(false).ToDisplayString(), "false");
+  EXPECT_EQ(Value::Int(42).ToDisplayString(), "42");
+  auto longseq =
+      NucleotideSequence::Dna(std::string(100, 'A')).value();
+  std::string display = Value::NucSeq(longseq).ToDisplayString();
+  EXPECT_LT(display.size(), 50u);
+  EXPECT_NE(display.find("(100)"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Signature.
+
+TEST(SignatureTest, OperatorSignatureRendering) {
+  OperatorSignature sig{"contains", {"nucseq", "nucseq"}, "bool"};
+  EXPECT_EQ(sig.ToString(), "contains : nucseq x nucseq -> bool");
+  OperatorSignature nullary{"now", {}, "int"};
+  EXPECT_EQ(nullary.ToString(), "now : () -> int");
+}
+
+TEST_F(AlgebraTest, StandardAlgebraRegistersSortsAndOperators) {
+  EXPECT_EQ(registry_.sort_count(), 10u);
+  EXPECT_TRUE(registry_.HasSort("gene"));
+  EXPECT_TRUE(registry_.HasSort("mrna"));
+  EXPECT_FALSE(registry_.HasSort("martian"));
+  EXPECT_GE(registry_.operator_count(), 25u);
+  // The paper's mini-algebra is present with the exact signatures.
+  auto t = registry_.Resolve("transcribe", {"gene"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->result_sort, "primarytranscript");
+  auto s = registry_.Resolve("splice", {"primarytranscript"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->result_sort, "mrna");
+  auto tr = registry_.Resolve("translate", {"mrna"});
+  ASSERT_TRUE(tr.ok());
+  EXPECT_EQ((*tr)->result_sort, "protein");
+}
+
+TEST_F(AlgebraTest, DuplicateSortAndOperatorRejected) {
+  EXPECT_TRUE(registry_.RegisterSort("gene", "dup").IsAlreadyExists());
+  EXPECT_TRUE(registry_
+                  .RegisterOperator({"transcribe", {"gene"},
+                                     "primarytranscript"},
+                                    nullptr)
+                  .IsAlreadyExists());
+}
+
+TEST_F(AlgebraTest, OperatorNeedsRegisteredSorts) {
+  EXPECT_TRUE(registry_
+                  .RegisterOperator({"zap", {"martian"}, "bool"},
+                                    nullptr)
+                  .IsNotFound());
+  EXPECT_TRUE(registry_
+                  .RegisterOperator({"zap", {"bool"}, "martian"},
+                                    nullptr)
+                  .IsNotFound());
+}
+
+TEST_F(AlgebraTest, OverloadResolutionIsExact) {
+  // length is overloaded on nucseq, protseq, and string.
+  EXPECT_EQ(registry_.OverloadsOf("length").size(), 3u);
+  EXPECT_TRUE(registry_.Resolve("length", {"nucseq"}).ok());
+  EXPECT_TRUE(registry_.Resolve("length", {"int"}).status().IsNotFound());
+  EXPECT_TRUE(registry_.Resolve("nope", {"int"}).status().IsNotFound());
+}
+
+TEST_F(AlgebraTest, ApplyEvaluatesBuiltins) {
+  auto seq = NucleotideSequence::Dna("GGCC").value();
+  auto r = registry_.Apply("gc_content", {Value::NucSeq(seq)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->AsReal().value(), 1.0);
+
+  auto len = registry_.Apply("length", {Value::NucSeq(seq)});
+  EXPECT_EQ(len->AsInt().value(), 4);
+
+  auto rc = registry_.Apply("reverse_complement", {Value::NucSeq(seq)});
+  EXPECT_EQ(rc->AsNucSeq()->ToString(), "GGCC");
+}
+
+TEST_F(AlgebraTest, ApplyChecksArgumentSorts) {
+  auto r = registry_.Apply("gc_content", {Value::Int(5)});
+  EXPECT_TRUE(r.status().IsNotFound());  // No overload for (int).
+  auto r2 = registry_.Apply("gc_content", {});
+  EXPECT_TRUE(r2.status().IsNotFound());
+}
+
+TEST_F(AlgebraTest, DeclaredOnlyOperatorIsUnimplemented) {
+  // fold has a known signature but no operational semantics (Sec. 4.3).
+  gdt::Protein p;
+  p.id = "P1";
+  p.sequence = ProteinSequence::FromString("MKV").value();
+  auto r = registry_.Apply("fold", {Value::ProteinVal(p)});
+  EXPECT_TRUE(r.status().IsUnimplemented());
+  // But it resolves and documents.
+  EXPECT_TRUE(registry_.Resolve("fold", {"protein"}).ok());
+  EXPECT_FALSE(registry_.Documentation("fold").empty());
+}
+
+TEST_F(AlgebraTest, RuntimeExtensibilityNewSortAndOperator) {
+  // C13/C14: a user registers their own sort and evaluation function.
+  ASSERT_TRUE(
+      registry_.RegisterSort("spectrum", "Mass-spec readout").ok());
+  ASSERT_TRUE(registry_
+                  .RegisterOperator(
+                      {"peak_count", {"spectrum"}, "int"},
+                      [](const std::vector<Value>& args) -> Result<Value> {
+                        GENALG_ASSIGN_OR_RETURN(OpaqueValue v,
+                                                args[0].AsOpaque());
+                        return Value::Int(
+                            static_cast<int64_t>(v.bytes->size()));
+                      })
+                  .ok());
+  OpaqueValue ov;
+  ov.sort = "spectrum";
+  ov.bytes = std::make_shared<std::vector<uint8_t>>(
+      std::vector<uint8_t>{9, 9, 9, 9});
+  auto r = registry_.Apply("peak_count", {Value::Opaque(ov)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt().value(), 4);
+  // New operators can also combine new sorts with existing ones.
+  ASSERT_TRUE(registry_
+                  .RegisterOperator(
+                      {"annotate", {"spectrum", "string"}, "string"},
+                      [](const std::vector<Value>& args) -> Result<Value> {
+                        GENALG_ASSIGN_OR_RETURN(std::string note,
+                                                args[1].AsString());
+                        return Value::String("spectrum:" + note);
+                      })
+                  .ok());
+  EXPECT_TRUE(registry_.Resolve("annotate", {"spectrum", "string"}).ok());
+}
+
+TEST_F(AlgebraTest, ListOperatorsIsComplete) {
+  auto ops = registry_.ListOperators();
+  std::set<std::string> names;
+  for (const auto& sig : ops) names.insert(sig.name);
+  for (const char* expected :
+       {"transcribe", "splice", "translate", "decode", "contains",
+        "resembles", "reverse_complement", "gc_content", "length",
+        "subsequence", "concat", "getchar", "orf_count", "digest_count",
+        "molecular_weight", "sequence_of", "confidence_of", "id_of",
+        "parse_dna", "parse_protein", "fold", "align_score",
+        "count_motif", "complement"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+// ------------------------------------------------------------------- Term.
+
+TEST_F(AlgebraTest, PaperTermTypeChecksAndEvaluates) {
+  // translate(splice(transcribe(g))) — the exact term from Sec. 4.2.
+  Term term = Term::Apply(
+      "translate",
+      Term::Apply("splice",
+                  Term::Apply("transcribe",
+                              Term::Constant(Value::GeneVal(MakeTestGene())))));
+  auto sort = term.Sort(registry_);
+  ASSERT_TRUE(sort.ok()) << sort.status().ToString();
+  EXPECT_EQ(*sort, "protein");
+
+  auto value = term.Evaluate(registry_);
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  EXPECT_EQ(value->AsProtein()->sequence.ToString(), "MKV");
+
+  EXPECT_EQ(term.ToString(),
+            "translate(splice(transcribe(gene(GENE1))))");
+}
+
+TEST_F(AlgebraTest, PaperGetcharTerm) {
+  // getchar(concat("Genomics", "Algebra"), 10) from Sec. 4.2.
+  Term term = Term::Apply(
+      "getchar",
+      {Term::Apply("concat", {Term::Constant(Value::String("Genomics")),
+                              Term::Constant(Value::String("Algebra"))}),
+       Term::Constant(Value::Int(10))});
+  EXPECT_EQ(term.Sort(registry_).value(), "string");
+  EXPECT_EQ(term.Evaluate(registry_)->AsString().value(), "g");
+}
+
+TEST_F(AlgebraTest, IllTypedTermFailsToSortWithoutEvaluating) {
+  // splice applied to a gene (needs primarytranscript).
+  Term bad = Term::Apply(
+      "splice", Term::Constant(Value::GeneVal(MakeTestGene())));
+  EXPECT_TRUE(bad.Sort(registry_).status().IsNotFound());
+  EXPECT_TRUE(bad.Evaluate(registry_).status().IsNotFound());
+}
+
+TEST_F(AlgebraTest, TermOverDeclaredOperatorTypeChecksButDoesNotRun) {
+  gdt::Protein p;
+  p.id = "P1";
+  p.sequence = ProteinSequence::FromString("MKV").value();
+  Term term = Term::Apply("fold", Term::Constant(Value::ProteinVal(p)));
+  EXPECT_EQ(term.Sort(registry_).value(), "string");
+  EXPECT_TRUE(term.Evaluate(registry_).status().IsUnimplemented());
+}
+
+TEST_F(AlgebraTest, NestedMixedTerm) {
+  // gc_content(subsequence(parse_dna("ACGGCC"), 2, 4)) == 1.0.
+  Term term = Term::Apply(
+      "gc_content",
+      Term::Apply("subsequence",
+                  {Term::Apply("parse_dna",
+                               Term::Constant(Value::String("ACGGCC"))),
+                   Term::Constant(Value::Int(2)),
+                   Term::Constant(Value::Int(4))}));
+  EXPECT_EQ(term.Sort(registry_).value(), "real");
+  EXPECT_DOUBLE_EQ(term.Evaluate(registry_)->AsReal().value(), 1.0);
+}
+
+TEST_F(AlgebraTest, EvaluationErrorsPropagateFromChildren) {
+  Term term = Term::Apply(
+      "gc_content",
+      Term::Apply("parse_dna", Term::Constant(Value::String("NOT DNA!"))));
+  // Type-checks (string -> nucseq -> real)...
+  EXPECT_TRUE(term.Sort(registry_).ok());
+  // ...but evaluation surfaces the parse failure.
+  EXPECT_TRUE(term.Evaluate(registry_).status().IsInvalidArgument());
+}
+
+TEST_F(AlgebraTest, ExtendedOperatorsEvaluate) {
+  auto seq = NucleotideSequence::Dna("ACGTACGT").value();
+  // melting_temp: Wallace rule, 4 AT + 4 GC.
+  auto tm = registry_.Apply("melting_temp", {Value::NucSeq(seq)});
+  ASSERT_TRUE(tm.ok());
+  EXPECT_DOUBLE_EQ(tm->AsReal().value(), 24.0);
+  // reverse_translate round-trips the unique-codon residues.
+  auto protein = ProteinSequence::FromString("MW").value();
+  auto degenerate =
+      registry_.Apply("reverse_translate", {Value::ProtSeq(protein)});
+  ASSERT_TRUE(degenerate.ok());
+  EXPECT_EQ(degenerate->AsNucSeq()->ToString(), "ATGTGG");
+  // translate_frame.
+  auto mk = registry_.Apply(
+      "translate_frame",
+      {Value::NucSeq(NucleotideSequence::Dna("ATGAAATAA").value()),
+       Value::Int(1)});
+  ASSERT_TRUE(mk.ok());
+  EXPECT_EQ(mk->AsProtSeq()->ToString(), "MK*");
+  // longest_orf_length: none in a homopolymer.
+  auto none = registry_.Apply(
+      "longest_orf_length",
+      {Value::NucSeq(NucleotideSequence::Dna("CCCCCCCCC").value())});
+  EXPECT_EQ(none->AsInt().value(), 0);
+  // kmer_distance of identical sequences is zero.
+  auto zero =
+      registry_.Apply("kmer_distance", {Value::NucSeq(seq),
+                                        Value::NucSeq(seq)});
+  EXPECT_DOUBLE_EQ(zero->AsReal().value(), 0.0);
+}
+
+TEST_F(AlgebraTest, ExtendedOperatorErrorsSurfaceThroughApply) {
+  // melting_temp over an ambiguous base refuses to fabricate a number.
+  auto ambiguous = NucleotideSequence::Dna("ACGN").value();
+  EXPECT_TRUE(registry_.Apply("melting_temp", {Value::NucSeq(ambiguous)})
+                  .status()
+                  .IsInvalidArgument());
+  // translate_frame validates the frame operand.
+  EXPECT_TRUE(registry_
+                  .Apply("translate_frame",
+                         {Value::NucSeq(ambiguous), Value::Int(7)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace genalg::algebra

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+#include "base/result.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace genalg {
+namespace {
+
+// ---------------------------------------------------------------- Status.
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("gene BRCA1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "gene BRCA1");
+  EXPECT_EQ(s.ToString(), "not found: gene BRCA1");
+}
+
+TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Uncertain("x").IsUncertain());
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kCorruption, StatusCode::kUnimplemented,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kIoError, StatusCode::kUncertain}) {
+    names.insert(std::string(StatusCodeToString(c)));
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+Status FailsThrough() {
+  GENALG_RETURN_IF_ERROR(Status::Corruption("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = FailsThrough();
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+// ---------------------------------------------------------------- Result.
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<std::string> Doubled(int v) {
+  GENALG_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return std::to_string(parsed * 2);
+}
+
+TEST(ResultTest, AssignOrReturnHappyPath) {
+  auto r = Doubled(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "42");
+}
+
+TEST(ResultTest, AssignOrReturnErrorPath) {
+  auto r = Doubled(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ----------------------------------------------------------------- Bytes.
+
+TEST(BytesTest, RoundTripFixedWidth) {
+  BytesWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutF64(3.25);
+
+  BytesReader r(w.data());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0xBEEF);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetI64().value(), -42);
+  EXPECT_EQ(r.GetF64().value(), 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, VarintBoundaries) {
+  std::vector<uint64_t> values = {0,   1,   127,  128,   16383, 16384,
+                                  1u << 21, 1ull << 35, 1ull << 63,
+                                  std::numeric_limits<uint64_t>::max()};
+  BytesWriter w;
+  for (uint64_t v : values) w.PutVarint(v);
+  BytesReader r(w.data());
+  for (uint64_t v : values) {
+    auto got = r.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, SmallVarintIsOneByte) {
+  BytesWriter w;
+  w.PutVarint(5);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(BytesTest, StringsRoundTrip) {
+  BytesWriter w;
+  w.PutString("");
+  w.PutString("ATTGCCATA");
+  w.PutString(std::string(1000, 'N'));
+  BytesReader r(w.data());
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetString().value(), "ATTGCCATA");
+  EXPECT_EQ(r.GetString().value(), std::string(1000, 'N'));
+}
+
+TEST(BytesTest, TruncatedReadsAreCorruption) {
+  BytesWriter w;
+  w.PutU8(1);
+  BytesReader r(w.data());
+  EXPECT_TRUE(r.GetU32().status().IsCorruption());
+}
+
+TEST(BytesTest, TruncatedStringBodyIsCorruption) {
+  BytesWriter w;
+  w.PutVarint(100);  // Claims 100 bytes follow...
+  w.PutU8('x');      // ...but only one does.
+  BytesReader r(w.data());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(BytesTest, OverlongVarintIsCorruption) {
+  std::vector<uint8_t> bad(11, 0x80);  // Never terminates within 64 bits.
+  BytesReader r(bad.data(), bad.size());
+  EXPECT_TRUE(r.GetVarint().status().IsCorruption());
+}
+
+TEST(BytesTest, SkipAndPosition) {
+  BytesWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  BytesReader r(w.data());
+  ASSERT_TRUE(r.Skip(4).ok());
+  EXPECT_EQ(r.GetU32().value(), 2u);
+  EXPECT_TRUE(r.Skip(1).IsCorruption());
+}
+
+// ------------------------------------------------------------------- Rng.
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RandomDnaUsesOnlyAcgt) {
+  Rng rng(9);
+  std::string dna = rng.RandomDna(500);
+  EXPECT_EQ(dna.size(), 500u);
+  for (char c : dna) {
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << c;
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------------- Strings.
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpties) {
+  EXPECT_EQ(SplitWhitespace("  LOCUS   AB0001  \t 9 bp "),
+            (std::vector<std::string>{"LOCUS", "AB0001", "9", "bp"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t\n "), "");
+  EXPECT_EQ(StripWhitespace("no-strip"), "no-strip");
+}
+
+TEST(StringsTest, JoinAndCase) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(ToUpperAscii("acgTn"), "ACGTN");
+  EXPECT_EQ(ToLowerAscii("ACGTn"), "acgtn");
+}
+
+TEST(StringsTest, PrefixSuffixAndCaseInsensitiveEq) {
+  EXPECT_TRUE(StartsWith("LOCUS AB", "LOCUS"));
+  EXPECT_FALSE(StartsWith("LOC", "LOCUS"));
+  EXPECT_TRUE(EndsWith("file.fasta", ".fasta"));
+  EXPECT_FALSE(EndsWith("fasta", ".fasta"));
+  EXPECT_TRUE(EqualsIgnoreCase("AtGc", "aTgC"));
+  EXPECT_FALSE(EqualsIgnoreCase("ATG", "ATGC"));
+}
+
+}  // namespace
+}  // namespace genalg

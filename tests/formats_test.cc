@@ -1,0 +1,465 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/rng.h"
+#include "formats/embl.h"
+#include "formats/fasta.h"
+#include "formats/feature_text.h"
+#include "formats/genalgxml.h"
+#include "formats/genbank.h"
+#include "formats/record.h"
+#include "formats/tree.h"
+
+namespace genalg::formats {
+namespace {
+
+using seq::NucleotideSequence;
+
+SequenceRecord MakeRecord() {
+  SequenceRecord r;
+  r.accession = "SYN000042";
+  r.version = 2;
+  r.description = "synthetic test entry";
+  r.organism = "Synthetica exempli";
+  r.source_db = "SYNDB";
+  r.sequence =
+      NucleotideSequence::Dna("CCCCATGAAAGTCCAGGTTTAAGGGG").value();
+  gdt::Feature gene;
+  gene.id = "G1";
+  gene.kind = gdt::FeatureKind::kGene;
+  gene.span = {4, 22};
+  gene.strand = gdt::Strand::kForward;
+  gene.qualifiers["name"] = "testA";
+  r.features.push_back(gene);
+  gdt::Feature exon;
+  exon.id = "E1";
+  exon.kind = gdt::FeatureKind::kExon;
+  exon.span = {4, 10};
+  exon.strand = gdt::Strand::kReverse;
+  exon.confidence = 0.75;
+  exon.qualifiers["gene"] = "G1";
+  r.features.push_back(exon);
+  return r;
+}
+
+// ------------------------------------------------------------ Locations.
+
+TEST(FeatureTextTest, ParseLocationForms) {
+  auto fwd = ParseLocation("5..22");
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_EQ(fwd->first, (gdt::Interval{4, 22}));
+  EXPECT_EQ(fwd->second, gdt::Strand::kForward);
+
+  auto rev = ParseLocation("complement(5..22)");
+  ASSERT_TRUE(rev.ok());
+  EXPECT_EQ(rev->first, (gdt::Interval{4, 22}));
+  EXPECT_EQ(rev->second, gdt::Strand::kReverse);
+
+  EXPECT_TRUE(ParseLocation("oops").status().IsCorruption());
+  EXPECT_TRUE(ParseLocation("0..5").status().IsCorruption());   // 1-based.
+  EXPECT_TRUE(ParseLocation("9..5").status().IsCorruption());   // Inverted.
+  EXPECT_TRUE(ParseLocation("a..b").status().IsCorruption());
+}
+
+TEST(FeatureTextTest, LocationRoundTrip) {
+  gdt::Feature f;
+  f.span = {4, 22};
+  f.strand = gdt::Strand::kReverse;
+  auto parsed = ParseLocation(FormatLocation(f));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->first, f.span);
+  EXPECT_EQ(parsed->second, f.strand);
+}
+
+TEST(FeatureTextTest, QualifierParsing) {
+  auto kv = ParseQualifierBody("name=\"testA\"");
+  ASSERT_TRUE(kv.ok());
+  EXPECT_EQ(kv->first, "name");
+  EXPECT_EQ(kv->second, "testA");
+  EXPECT_EQ(ParseQualifierBody("count=3")->second, "3");
+  EXPECT_EQ(ParseQualifierBody("pseudo")->first, "pseudo");
+  EXPECT_TRUE(ParseQualifierBody("=x").status().IsCorruption());
+}
+
+// ---------------------------------------------------------------- FASTA.
+
+TEST(FastaTest, ParseBasic) {
+  auto records = ParseFasta(">SEQ1 first sequence\nACGT\nACGT\n>SEQ2\nTTTT\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].accession, "SEQ1");
+  EXPECT_EQ((*records)[0].description, "first sequence");
+  EXPECT_EQ((*records)[0].sequence.ToString(), "ACGTACGT");
+  EXPECT_EQ((*records)[1].accession, "SEQ2");
+  EXPECT_EQ((*records)[1].description, "");
+  EXPECT_EQ((*records)[1].sequence.ToString(), "TTTT");
+}
+
+TEST(FastaTest, RejectsMalformedInput) {
+  EXPECT_TRUE(ParseFasta("ACGT\n").status().IsCorruption());
+  EXPECT_TRUE(ParseFasta(">\nACGT\n").status().IsCorruption());
+  EXPECT_TRUE(ParseFasta(">S1\nAC9T\n").status().IsCorruption());
+}
+
+TEST(FastaTest, EmptyInputYieldsNoRecords) {
+  EXPECT_TRUE(ParseFasta("")->empty());
+  EXPECT_TRUE(ParseFasta("\n\n")->empty());
+}
+
+TEST(FastaTest, WriteParseRoundTrip) {
+  Rng rng(71);
+  std::vector<SequenceRecord> records;
+  for (int i = 0; i < 4; ++i) {
+    SequenceRecord r;
+    r.accession = "SEQ" + std::to_string(i);
+    r.description = i % 2 ? "" : "entry number " + std::to_string(i);
+    r.sequence =
+        NucleotideSequence::Dna(rng.RandomDna(37 * (i + 1))).value();
+    records.push_back(std::move(r));
+  }
+  auto back = ParseFasta(WriteFasta(records, 50));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*back)[i].accession, records[i].accession);
+    EXPECT_EQ((*back)[i].description, records[i].description);
+    EXPECT_EQ((*back)[i].sequence, records[i].sequence);
+  }
+}
+
+// -------------------------------------------------------------- GenBank.
+
+TEST(GenBankTest, WriteParseRoundTrip) {
+  std::vector<SequenceRecord> records = {MakeRecord()};
+  std::string text = WriteGenBank(records);
+  auto back = ParseGenBank(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+  ASSERT_EQ(back->size(), 1u);
+  const SequenceRecord& r = (*back)[0];
+  EXPECT_EQ(r.accession, "SYN000042");
+  EXPECT_EQ(r.version, 2);
+  EXPECT_EQ(r.description, "synthetic test entry");
+  EXPECT_EQ(r.organism, "Synthetica exempli");
+  EXPECT_EQ(r.sequence, records[0].sequence);
+  ASSERT_EQ(r.features.size(), 2u);
+  EXPECT_EQ(r.features[0], records[0].features[0]);
+  EXPECT_EQ(r.features[1], records[0].features[1]);
+}
+
+TEST(GenBankTest, MultipleRecords) {
+  SequenceRecord a = MakeRecord();
+  SequenceRecord b = MakeRecord();
+  b.accession = "SYN000043";
+  b.features.clear();
+  auto back = ParseGenBank(WriteGenBank({a, b}));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[1].accession, "SYN000043");
+  EXPECT_TRUE((*back)[1].features.empty());
+}
+
+TEST(GenBankTest, DetectsLengthMismatch) {
+  // B10: noisy entries must be detected. Declare 10 bp, carry 4.
+  std::string text =
+      "LOCUS       BAD1 10 bp DNA SYN\n"
+      "ORIGIN\n"
+      "        1 acgt\n"
+      "//\n";
+  EXPECT_TRUE(ParseGenBank(text).status().IsCorruption());
+}
+
+TEST(GenBankTest, DetectsStructuralErrors) {
+  EXPECT_TRUE(ParseGenBank("//\n").status().IsCorruption());
+  EXPECT_TRUE(ParseGenBank("DEFINITION  x\n").status().IsCorruption());
+  EXPECT_TRUE(ParseGenBank("LOCUS       A 0 bp DNA\nORIGIN\n")
+                  .status()
+                  .IsCorruption());  // Missing //.
+  std::string bad_qualifier =
+      "LOCUS       A 0 bp DNA\n"
+      "FEATURES             Location/Qualifiers\n"
+      "                     /name=\"x\"\n"
+      "ORIGIN\n"
+      "//\n";
+  EXPECT_TRUE(ParseGenBank(bad_qualifier).status().IsCorruption());
+}
+
+TEST(GenBankTest, UnknownFeatureKeysRoundTripViaOther) {
+  SequenceRecord r;
+  r.accession = "A1";
+  r.sequence = NucleotideSequence::Dna("ACGTACGT").value();
+  gdt::Feature f;
+  f.id = "X1";
+  f.kind = gdt::FeatureKind::kOther;
+  f.span = {0, 4};
+  f.qualifiers["key"] = "misc_binding";
+  r.features.push_back(f);
+  auto back = ParseGenBank(WriteGenBank({r}));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ((*back)[0].features.size(), 1u);
+  EXPECT_EQ((*back)[0].features[0].kind, gdt::FeatureKind::kOther);
+  EXPECT_EQ((*back)[0].features[0].qualifiers.at("key"), "misc_binding");
+}
+
+// ----------------------------------------------------------------- EMBL.
+
+TEST(EmblTest, WriteParseRoundTrip) {
+  std::vector<SequenceRecord> records = {MakeRecord()};
+  std::string text = WriteEmbl(records);
+  auto back = ParseEmbl(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+  ASSERT_EQ(back->size(), 1u);
+  const SequenceRecord& r = (*back)[0];
+  EXPECT_EQ(r.accession, "SYN000042");
+  EXPECT_EQ(r.version, 2);
+  EXPECT_EQ(r.description, "synthetic test entry");
+  EXPECT_EQ(r.organism, "Synthetica exempli");
+  EXPECT_EQ(r.source_db, "SYNDB");
+  EXPECT_EQ(r.sequence, records[0].sequence);
+  ASSERT_EQ(r.features.size(), 2u);
+  EXPECT_EQ(r.features[0], records[0].features[0]);
+  EXPECT_EQ(r.features[1], records[0].features[1]);
+}
+
+TEST(EmblTest, DetectsLengthMismatch) {
+  std::string text =
+      "ID   BAD1; SV 1; linear; DNA; SYNDB; 99 BP.\n"
+      "SQ   Sequence 99 BP;\n"
+      "     acgt 4\n"
+      "//\n";
+  EXPECT_TRUE(ParseEmbl(text).status().IsCorruption());
+}
+
+TEST(EmblTest, GenBankAndEmblAgreeOnTheSameRecord) {
+  // The same biological entry must survive either wrapper identically —
+  // this is exactly what the warehouse integrator relies on (C2).
+  SequenceRecord r = MakeRecord();
+  auto via_genbank = ParseGenBank(WriteGenBank({r}));
+  auto via_embl = ParseEmbl(WriteEmbl({r}));
+  ASSERT_TRUE(via_genbank.ok());
+  ASSERT_TRUE(via_embl.ok());
+  const SequenceRecord& a = (*via_genbank)[0];
+  const SequenceRecord& b = (*via_embl)[0];
+  EXPECT_EQ(a.accession, b.accession);
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.organism, b.organism);
+}
+
+// ----------------------------------------------------------------- Tree.
+
+TEST(TreeTest, ParseWriteRoundTrip) {
+  std::string text =
+      "Sequence : SYN1\n"
+      "  Description : hello\n"
+      "  Feature : gene\n"
+      "    Span : 5..22\n"
+      "  DNA : ACGT\n"
+      "Sequence : SYN2\n";
+  auto roots = ParseTree(text);
+  ASSERT_TRUE(roots.ok()) << roots.status().ToString();
+  ASSERT_EQ(roots->size(), 2u);
+  EXPECT_EQ((*roots)[0].tag, "Sequence");
+  EXPECT_EQ((*roots)[0].value, "SYN1");
+  ASSERT_EQ((*roots)[0].children.size(), 3u);
+  EXPECT_EQ((*roots)[0].children[1].children[0].tag, "Span");
+  EXPECT_EQ(WriteTree(*roots), text);
+  EXPECT_EQ((*roots)[0].SubtreeSize(), 5u);
+  EXPECT_NE((*roots)[0].Child("DNA"), nullptr);
+  EXPECT_EQ((*roots)[0].Child("Nope"), nullptr);
+}
+
+TEST(TreeTest, RejectsBadIndentation) {
+  EXPECT_TRUE(ParseTree(" Odd : x\n").status().IsCorruption());
+  EXPECT_TRUE(ParseTree("A : 1\n    Jump : x\n").status().IsCorruption());
+}
+
+TEST(TreeTest, RecordTreeRoundTrip) {
+  SequenceRecord r = MakeRecord();
+  r.attributes["lab"] = "building 7";
+  TreeNode tree = RecordToTree(r);
+  // Survives a text round trip too.
+  auto reparsed = ParseTree(WriteTree({tree}));
+  ASSERT_TRUE(reparsed.ok());
+  auto back = TreeToRecord((*reparsed)[0]);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, r);
+}
+
+TEST(TreeTest, TreeToRecordValidates) {
+  TreeNode wrong{"Gene", "X", {}};
+  EXPECT_TRUE(TreeToRecord(wrong).status().IsCorruption());
+}
+
+// ------------------------------------------------------------ GenAlgXML.
+
+TEST(GenAlgXmlTest, WriteParseRoundTrip) {
+  SequenceRecord r = MakeRecord();
+  r.attributes["lab"] = "building 7";
+  auto back = ParseGenAlgXml(WriteGenAlgXml({r}));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0], r);
+}
+
+TEST(GenAlgXmlTest, EscapingSurvives) {
+  SequenceRecord r;
+  r.accession = "X<&>1";
+  r.description = "a \"quoted\" & <tagged> entry";
+  r.sequence = NucleotideSequence::Dna("ACGT").value();
+  auto back = ParseGenAlgXml(WriteGenAlgXml({r}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].accession, r.accession);
+  EXPECT_EQ((*back)[0].description, r.description);
+}
+
+TEST(GenAlgXmlTest, RejectsMalformedXml) {
+  EXPECT_TRUE(ParseGenAlgXml("<genalg>").status().IsCorruption());
+  EXPECT_TRUE(
+      ParseGenAlgXml("<genalg></wrong>").status().IsCorruption());
+  EXPECT_TRUE(ParseGenAlgXml("<notgenalg></notgenalg>")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(ParseGenAlgXml("<genalg><sequence></sequence></genalg>")
+                  .status()
+                  .IsCorruption());  // Missing accession.
+  EXPECT_TRUE(ParseGenAlgXml("<genalg>&bogus;</genalg>")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(GenAlgXmlTest, AcceptsPrologAndSelfClosingFeatures) {
+  std::string text =
+      "<?xml version=\"1.0\"?>\n"
+      "<genalg>\n"
+      "  <sequence accession=\"A1\" version=\"1\">\n"
+      "    <dna>ACGT</dna>\n"
+      "    <feature id=\"F1\" kind=\"gene\" begin=\"0\" end=\"4\" "
+      "strand=\"+\"/>\n"
+      "  </sequence>\n"
+      "</genalg>\n";
+  auto records = ParseGenAlgXml(text);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ((*records)[0].features.size(), 1u);
+  EXPECT_EQ((*records)[0].features[0].span, (gdt::Interval{0, 4}));
+}
+
+TEST(GenBankTest, WrappedDefinitionContinuationLines) {
+  std::string text =
+      "LOCUS       W1 4 bp DNA SYN\n"
+      "DEFINITION  a definition that\n"
+      "            continues on the next line\n"
+      "ORIGIN\n"
+      "        1 acgt\n"
+      "//\n";
+  auto records = ParseGenBank(text);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ((*records)[0].description,
+            "a definition that continues on the next line");
+}
+
+TEST(EmblTest, MultipleDeLinesConcatenate) {
+  std::string text =
+      "ID   W2; SV 1; linear; DNA; SYNDB; 4 BP.\n"
+      "DE   first half\n"
+      "DE   second half\n"
+      "XX\n"
+      "SQ   Sequence 4 BP;\n"
+      "     acgt 4\n"
+      "//\n";
+  auto records = ParseEmbl(text);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ((*records)[0].description, "first half second half");
+}
+
+TEST(GenBankTest, EmptySequenceEntry) {
+  std::string text =
+      "LOCUS       E0 0 bp DNA SYN\n"
+      "ORIGIN\n"
+      "//\n";
+  auto records = ParseGenBank(text);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE((*records)[0].sequence.empty());
+  // And it survives a write/parse cycle.
+  auto back = ParseGenBank(WriteGenBank(*records));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].accession, "E0");
+}
+
+TEST(FeatureTextTest, ConfidenceQualifierRoundTrip) {
+  SequenceRecord r;
+  r.accession = "CQ1";
+  r.sequence = NucleotideSequence::Dna("ACGTACGTACGT").value();
+  gdt::Feature f;
+  f.id = "F1";
+  f.kind = gdt::FeatureKind::kVariant;
+  f.span = {2, 6};
+  f.confidence = 0.25;
+  r.features.push_back(f);
+  auto back = ParseGenBank(WriteGenBank({r}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ((*back)[0].features[0].confidence, 0.25);
+  // A confidence outside [0,1] in the wild is flagged as corruption.
+  std::string bad =
+      "LOCUS       B1 4 bp DNA SYN\n"
+      "FEATURES             Location/Qualifiers\n"
+      "     gene            1..4\n"
+      "                     /confidence=\"7.5\"\n"
+      "ORIGIN\n"
+      "        1 acgt\n"
+      "//\n";
+  EXPECT_TRUE(ParseGenBank(bad).status().IsCorruption());
+}
+
+// Round-trip property across all four structured formats.
+class FormatRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormatRoundTripTest, AllWrappersPreserveTheRecord) {
+  Rng rng(GetParam());
+  SequenceRecord r;
+  r.accession = "RT" + std::to_string(GetParam());
+  r.version = 1 + static_cast<int>(rng.Uniform(5));
+  r.description = "round trip " + std::to_string(GetParam());
+  r.organism = "Synthetica exempli";
+  r.source_db = "SYNDB";
+  r.sequence = NucleotideSequence::Dna(
+                   rng.RandomString(40 + rng.Uniform(200), "ACGTN"))
+                   .value();
+  size_t n_features = rng.Uniform(4);
+  for (size_t i = 0; i < n_features; ++i) {
+    gdt::Feature f;
+    f.id = "F" + std::to_string(i);
+    f.kind = static_cast<gdt::FeatureKind>(rng.Uniform(10));
+    uint64_t begin = rng.Uniform(r.sequence.size() - 1);
+    f.span = {begin, begin + 1 + rng.Uniform(r.sequence.size() - begin)};
+    f.strand =
+        rng.Bernoulli(0.5) ? gdt::Strand::kForward : gdt::Strand::kReverse;
+    f.qualifiers["n"] = std::to_string(i);
+    r.features.push_back(f);
+  }
+
+  auto genbank = ParseGenBank(WriteGenBank({r}));
+  ASSERT_TRUE(genbank.ok()) << genbank.status().ToString();
+  EXPECT_EQ((*genbank)[0].sequence, r.sequence);
+  EXPECT_EQ((*genbank)[0].features, r.features);
+
+  auto embl = ParseEmbl(WriteEmbl({r}));
+  ASSERT_TRUE(embl.ok()) << embl.status().ToString();
+  EXPECT_EQ((*embl)[0].sequence, r.sequence);
+  EXPECT_EQ((*embl)[0].features, r.features);
+
+  auto xml = ParseGenAlgXml(WriteGenAlgXml({r}));
+  ASSERT_TRUE(xml.ok()) << xml.status().ToString();
+  EXPECT_EQ((*xml)[0], r);
+
+  auto tree = TreeToRecord(RecordToTree(r));
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(*tree, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatRoundTripTest,
+                         ::testing::Range(100, 112));
+
+}  // namespace
+}  // namespace genalg::formats

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "base/rng.h"
+#include "index/kmer_index.h"
+#include "index/suffix_array.h"
+#include "seq/nucleotide_sequence.h"
+
+namespace genalg::index {
+namespace {
+
+using seq::NucleotideSequence;
+
+// ------------------------------------------------------------ SuffixArray.
+
+TEST(SuffixArrayTest, BananaClassic) {
+  auto sa = SuffixArray::Build("banana");
+  // Suffixes sorted: a, ana, anana, banana, na, nana.
+  EXPECT_EQ(sa.sa(), (std::vector<uint32_t>{5, 3, 1, 0, 4, 2}));
+  EXPECT_EQ(sa.lcp(), (std::vector<uint32_t>{0, 1, 3, 0, 0, 2}));
+  EXPECT_EQ(sa.LongestRepeatedSubstring(), 3u);  // "ana".
+}
+
+TEST(SuffixArrayTest, EmptyText) {
+  auto sa = SuffixArray::Build("");
+  EXPECT_EQ(sa.size(), 0u);
+  EXPECT_FALSE(sa.Contains("A"));
+  EXPECT_TRUE(sa.FindAll("A").empty());
+}
+
+TEST(SuffixArrayTest, FindAllMatchesNaiveScan) {
+  Rng rng(41);
+  std::string text = rng.RandomDna(3000);
+  auto sa = SuffixArray::Build(text);
+  for (size_t plen : {1u, 2u, 4u, 7u, 12u}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::string pattern =
+          rng.Bernoulli(0.7)
+              ? text.substr(rng.Uniform(text.size() - plen), plen)
+              : rng.RandomDna(plen);
+      std::vector<uint64_t> naive;
+      for (size_t pos = 0; pos + pattern.size() <= text.size(); ++pos) {
+        if (text.compare(pos, pattern.size(), pattern) == 0) {
+          naive.push_back(pos);
+        }
+      }
+      EXPECT_EQ(sa.FindAll(pattern), naive) << "len=" << plen;
+      EXPECT_EQ(sa.CountOccurrences(pattern), naive.size());
+      EXPECT_EQ(sa.Contains(pattern), !naive.empty());
+    }
+  }
+}
+
+TEST(SuffixArrayTest, PatternLongerThanText) {
+  auto sa = SuffixArray::Build("ACG");
+  EXPECT_FALSE(sa.Contains("ACGT"));
+  EXPECT_TRUE(sa.FindAll("ACGT").empty());
+}
+
+TEST(SuffixArrayTest, EmptyPatternMatchesEverywhere) {
+  auto sa = SuffixArray::Build("ACG");
+  EXPECT_TRUE(sa.Contains(""));
+  EXPECT_EQ(sa.FindAll("").size(), 3u);
+  EXPECT_EQ(sa.CountOccurrences(""), 3u);
+}
+
+TEST(SuffixArrayTest, SuffixOrderIsCorrectProperty) {
+  Rng rng(43);
+  std::string text = rng.RandomDna(500);
+  auto sa = SuffixArray::Build(text);
+  // The permutation must sort the suffixes.
+  for (size_t r = 1; r < sa.sa().size(); ++r) {
+    std::string_view prev(text.data() + sa.sa()[r - 1],
+                          text.size() - sa.sa()[r - 1]);
+    std::string_view cur(text.data() + sa.sa()[r],
+                         text.size() - sa.sa()[r]);
+    EXPECT_LT(prev, cur);
+    // And the LCP entry must be exact.
+    size_t common = 0;
+    while (common < prev.size() && common < cur.size() &&
+           prev[common] == cur[common]) {
+      ++common;
+    }
+    EXPECT_EQ(sa.lcp()[r], common);
+  }
+}
+
+TEST(SuffixArrayTest, BuildsOverNucleotideSequence) {
+  auto s = NucleotideSequence::Dna("ATTGCCATA").value();
+  auto sa = SuffixArray::Build(s);
+  EXPECT_TRUE(sa.Contains("GCC"));
+  EXPECT_EQ(sa.FindAll("AT"), (std::vector<uint64_t>{0, 6}));
+}
+
+// -------------------------------------------------------------- KmerIndex.
+
+std::vector<NucleotideSequence> MakeCorpus(Rng* rng, size_t docs,
+                                           size_t len) {
+  std::vector<NucleotideSequence> corpus;
+  for (size_t i = 0; i < docs; ++i) {
+    corpus.push_back(NucleotideSequence::Dna(rng->RandomDna(len)).value());
+  }
+  return corpus;
+}
+
+TEST(KmerIndexTest, RejectsBadK) {
+  std::vector<NucleotideSequence> corpus;
+  EXPECT_TRUE(KmerIndex::Build(corpus, 3).status().IsInvalidArgument());
+  EXPECT_TRUE(KmerIndex::Build(corpus, 32).status().IsInvalidArgument());
+  EXPECT_TRUE(KmerIndex::Build(corpus, 8).ok());
+}
+
+TEST(KmerIndexTest, LookupFindsAllPositions) {
+  auto a = NucleotideSequence::Dna("ACGTACGTAA").value();
+  auto b = NucleotideSequence::Dna("TTACGTACGT").value();
+  auto idx = KmerIndex::Build({a, b}, 8).value();
+  auto hits = idx.Lookup("ACGTACGT").value();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 0u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].doc, 1u);
+  EXPECT_EQ(hits[1].position, 2u);
+  EXPECT_TRUE(idx.Lookup("AAAAAAAA").value().empty());
+}
+
+TEST(KmerIndexTest, LookupValidatesInput) {
+  auto idx = KmerIndex::Build({}, 8).value();
+  EXPECT_TRUE(idx.Lookup("ACGT").status().IsInvalidArgument());
+  EXPECT_TRUE(idx.Lookup("ACGTACGN").status().IsInvalidArgument());
+}
+
+TEST(KmerIndexTest, AmbiguousWindowsSkipped) {
+  auto s = NucleotideSequence::Dna("ACGTNACGT").value();
+  auto idx = KmerIndex::Build({s}, 4).value();
+  // Windows covering the N (positions 1..4) are absent.
+  EXPECT_EQ(idx.TotalPostings(), 2u);  // "ACGT" at 0 and at 5.
+  auto hits = idx.Lookup("ACGT").value();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].position, 5u);
+}
+
+TEST(KmerIndexTest, FindCandidatesRanksTrueSourceFirst) {
+  Rng rng(47);
+  auto corpus = MakeCorpus(&rng, 20, 500);
+  auto idx = KmerIndex::Build(corpus, 11).value();
+  // Query: a fragment of document 7 with light noise.
+  std::string fragment = corpus[7].ToString().substr(120, 200);
+  for (size_t i = 0; i < fragment.size(); i += 37) {
+    fragment[i] = fragment[i] == 'A' ? 'C' : 'A';
+  }
+  auto query = NucleotideSequence::Dna(fragment).value();
+  auto candidates = idx.FindCandidates(query, 2);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].doc, 7u);
+  // The dominant diagonal points at the fragment origin.
+  EXPECT_EQ(candidates[0].best_diagonal, 120);
+}
+
+TEST(KmerIndexTest, CandidatesSortedBysharedKmers) {
+  Rng rng(53);
+  auto corpus = MakeCorpus(&rng, 10, 300);
+  auto idx = KmerIndex::Build(corpus, 9).value();
+  auto query = corpus[3];
+  auto candidates = idx.FindCandidates(query, 1);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].doc, 3u);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].shared_kmers, candidates[i].shared_kmers);
+  }
+}
+
+TEST(KmerIndexTest, MinSharedFilters) {
+  Rng rng(59);
+  auto corpus = MakeCorpus(&rng, 5, 200);
+  auto idx = KmerIndex::Build(corpus, 9).value();
+  auto query = corpus[0];
+  size_t all = idx.FindCandidates(query, 1).size();
+  size_t strict = idx.FindCandidates(query, 50).size();
+  EXPECT_GE(all, strict);
+  EXPECT_GE(strict, 1u);  // The identical document always qualifies.
+}
+
+TEST(KmerIndexTest, SelectivityEstimateBehaviour) {
+  Rng rng(61);
+  auto corpus = MakeCorpus(&rng, 10, 1000);
+  auto idx = KmerIndex::Build(corpus, 8).value();
+  // Short patterns are near-certain, long patterns near-impossible.
+  EXPECT_GT(idx.EstimateContainsSelectivity(2), 0.95);
+  EXPECT_LT(idx.EstimateContainsSelectivity(30), 1e-6);
+  // Monotone non-increasing in pattern length.
+  double prev = 1.1;
+  for (size_t len = 1; len <= 20; ++len) {
+    double s = idx.EstimateContainsSelectivity(len);
+    EXPECT_LE(s, prev + 1e-12);
+    prev = s;
+  }
+}
+
+TEST(KmerIndexTest, PackKmerTwoBitEncoding) {
+  auto s = NucleotideSequence::Dna("ACGT").value();
+  uint64_t packed;
+  ASSERT_TRUE(PackKmer(s, 0, 4, &packed));
+  EXPECT_EQ(packed, 0b00011011u);  // A=0, C=1, G=2, T=3.
+  auto amb = NucleotideSequence::Dna("ACGN").value();
+  EXPECT_FALSE(PackKmer(amb, 0, 4, &packed));
+  EXPECT_FALSE(PackKmer(s, 2, 4, &packed));  // Out of range.
+}
+
+// Cross-check: suffix-array search results equal NucleotideSequence::Find
+// on unambiguous data (parameterized over corpus sizes).
+class IndexAgreementTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IndexAgreementTest, SuffixArrayAgreesWithScan) {
+  Rng rng(GetParam());
+  auto dna = NucleotideSequence::Dna(rng.RandomDna(GetParam())).value();
+  auto sa = SuffixArray::Build(dna);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::string pattern = rng.RandomDna(3 + rng.Uniform(6));
+    auto pat_seq = NucleotideSequence::Dna(pattern).value();
+    std::vector<uint64_t> scan_hits;
+    size_t pos = dna.Find(pat_seq, 0);
+    while (pos != NucleotideSequence::npos) {
+      scan_hits.push_back(pos);
+      pos = dna.Find(pat_seq, pos + 1);
+    }
+    EXPECT_EQ(sa.FindAll(pattern), scan_hits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CorpusSizes, IndexAgreementTest,
+                         ::testing::Values(64, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace genalg::index

@@ -1,0 +1,271 @@
+// End-to-end integration across every module: sources -> monitors ->
+// integrator -> Unifying Database -> extended SQL -> Genomics Algebra ->
+// biologist query language, with the mediator answering the same
+// questions for cross-checks and the ontology resolving the terminology.
+// This is the whole Figure 3 stack exercised as one system.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "algebra/signature.h"
+#include "algebra/term.h"
+#include "base/rng.h"
+#include "bql/bql.h"
+#include "etl/pipeline.h"
+#include "etl/source.h"
+#include "etl/warehouse.h"
+#include "formats/genalgxml.h"
+#include "gdt/ops.h"
+#include "mediator/mediator.h"
+#include "ontology/ontology.h"
+#include "seq/nucleotide_sequence.h"
+#include "udb/adapter.h"
+#include "udb/database.h"
+
+namespace genalg {
+namespace {
+
+using etl::SourceCapability;
+using etl::SourceRepresentation;
+using formats::SequenceRecord;
+using seq::NucleotideSequence;
+
+class FullStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(algebra::RegisterStandardAlgebra(&algebra_).ok());
+    adapter_ = std::make_unique<udb::Adapter>(&algebra_);
+    ASSERT_TRUE(udb::RegisterStandardUdts(adapter_.get()).ok());
+    db_ = std::make_unique<udb::Database>(adapter_.get());
+    warehouse_ = std::make_unique<etl::Warehouse>(db_.get());
+    ASSERT_TRUE(warehouse_->InitSchema().ok());
+
+    // Three repositories spanning the Figure 2 grid.
+    sources_.push_back(std::make_unique<etl::SyntheticSource>(
+        "GBK", SourceRepresentation::kFlatFile, SourceCapability::kLogged,
+        501));
+    sources_.push_back(std::make_unique<etl::SyntheticSource>(
+        "ACE", SourceRepresentation::kHierarchical,
+        SourceCapability::kNonQueryable, 502));
+    sources_.push_back(std::make_unique<etl::SyntheticSource>(
+        "REL", SourceRepresentation::kRelational,
+        SourceCapability::kQueryable, 503));
+    for (auto& source : sources_) {
+      ASSERT_TRUE(source->Populate(10, 300).ok());
+    }
+
+    // Plant a known gene (with canonical intron) in the flat-file source
+    // so downstream algebra has something biological to chew on.
+    SequenceRecord planted;
+    planted.accession = "GBKPLANT1";
+    planted.source_db = "GBK";
+    planted.organism = "Synthetica exempli";
+    planted.description = "planted gene for integration test";
+    planted.sequence = NucleotideSequence::Dna(
+                           "CCCC" "ATGAAAGTCCAGGTTTAA" "GGGG").value();
+    gdt::Feature gene;
+    gene.id = "PG1";
+    gene.kind = gdt::FeatureKind::kGene;
+    gene.span = {4, 22};
+    planted.features.push_back(gene);
+    ASSERT_TRUE(sources_[0]->AddRecord(planted).ok());
+
+    pipeline_ = std::make_unique<etl::EtlPipeline>(warehouse_.get());
+    for (auto& source : sources_) {
+      ASSERT_TRUE(pipeline_->AddSource(source.get()).ok());
+    }
+    ASSERT_TRUE(pipeline_->InitialLoad().ok());
+  }
+
+  algebra::SignatureRegistry algebra_;
+  std::unique_ptr<udb::Adapter> adapter_;
+  std::unique_ptr<udb::Database> db_;
+  std::unique_ptr<etl::Warehouse> warehouse_;
+  std::vector<std::unique_ptr<etl::SyntheticSource>> sources_;
+  std::unique_ptr<etl::EtlPipeline> pipeline_;
+};
+
+TEST_F(FullStackTest, LoadedEverything) {
+  EXPECT_EQ(warehouse_->SequenceCount().value(), 31);
+  auto features = db_->Execute("SELECT count(*) FROM features");
+  ASSERT_TRUE(features.ok());
+  EXPECT_GT(features->rows[0][0].AsInt().value(), 0);
+}
+
+TEST_F(FullStackTest, SqlToAlgebraToGdtPipeline) {
+  // Pull the planted sequence out of the warehouse by SQL, lift it into
+  // the algebra, extract the gene region, and decode it — storage and
+  // computation meeting exactly as Sec. 6 prescribes.
+  auto r = db_->Execute(
+      "SELECT seq FROM sequences WHERE accession = 'GBKPLANT1'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  auto value = adapter_->ToValue(r->rows[0][0]);
+  ASSERT_TRUE(value.ok());
+  auto chromosome = value->AsNucSeq();
+  ASSERT_TRUE(chromosome.ok());
+
+  gdt::Gene gene;
+  gene.id = "PG1";
+  gene.sequence = chromosome->Subsequence(4, 18).value();
+  gene.exons = {{0, 6}, {12, 18}};
+  auto protein = gdt::Decode(gene);
+  ASSERT_TRUE(protein.ok());
+  EXPECT_EQ(protein->sequence.ToString(), "MKV");
+}
+
+TEST_F(FullStackTest, FeatureRowsMatchSourceAnnotations) {
+  auto r = db_->Execute(
+      "SELECT kind, begin, fin FROM features WHERE accession = "
+      "'GBKPLANT1'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString().value(), "gene");
+  EXPECT_EQ(r->rows[0][1].AsInt().value(), 4);
+  EXPECT_EQ(r->rows[0][2].AsInt().value(), 22);
+}
+
+TEST_F(FullStackTest, BqlMediatorAndSqlAgree) {
+  auto pattern = NucleotideSequence::Dna("ATGAAAGTCCAG").value();
+
+  // Warehouse via raw SQL.
+  auto sql = db_->Execute(
+      "SELECT accession FROM sequences WHERE contains(seq, "
+      "parse_dna('ATGAAAGTCCAG')) ORDER BY accession");
+  ASSERT_TRUE(sql.ok());
+
+  // Warehouse via the biologist language.
+  auto bql = bql::RunBql(db_.get(),
+                         "find sequences containing ATGAAAGTCCAG");
+  ASSERT_TRUE(bql.ok());
+  ASSERT_EQ(bql->rows.size(), sql->rows.size());
+
+  // The same question against the live sources through the mediator.
+  mediator::Mediator mediator;
+  for (auto& source : sources_) mediator.AddSource(source.get());
+  auto mediated = mediator.FindContaining(pattern);
+  ASSERT_TRUE(mediated.ok());
+  std::set<std::string> warehouse_hits;
+  for (const auto& row : sql->rows) {
+    warehouse_hits.insert(*row[0].AsString());
+  }
+  std::set<std::string> mediator_hits;
+  for (const auto& record : *mediated) {
+    mediator_hits.insert(record.accession);
+  }
+  EXPECT_EQ(warehouse_hits, mediator_hits);
+  EXPECT_TRUE(warehouse_hits.count("GBKPLANT1"));
+}
+
+TEST_F(FullStackTest, MaintenanceKeepsWarehouseConsistentOverRounds) {
+  Rng rng(601);
+  for (int round = 0; round < 5; ++round) {
+    for (auto& source : sources_) {
+      ASSERT_TRUE(source->EvolveStep(0.2, 0.5).ok());
+    }
+    ASSERT_TRUE(pipeline_->RunOnce().ok());
+    size_t expected = 0;
+    for (auto& source : sources_) expected += source->record_count();
+    EXPECT_EQ(warehouse_->SequenceCount().value(),
+              static_cast<int64_t>(expected))
+        << "round " << round;
+  }
+  // After all that churn the warehouse still equals a fresh reload.
+  auto incremental = db_->Execute(
+      "SELECT accession, version FROM sequences ORDER BY accession");
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(pipeline_->FullReload().ok());
+  auto reloaded = db_->Execute(
+      "SELECT accession, version FROM sequences ORDER BY accession");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(incremental->rows, reloaded->rows);
+}
+
+TEST_F(FullStackTest, UserSpaceAnalysisOverPublicData) {
+  // A biologist stores probes, joins them against the warehouse, and
+  // aggregates — C13 in one statement.
+  ASSERT_TRUE(db_->Execute(
+                     "CREATE TABLE probes (name TEXT, p NUCSEQ) SPACE USER")
+                  .ok());
+  ASSERT_TRUE(db_->Execute("INSERT INTO probes VALUES "
+                           "('plant', parse_dna('ATGAAAGTCCAG')), "
+                           "('nohit', parse_dna('AAAAAAAAAAAAAAAAAAAAAA'))")
+                  .ok());
+  auto r = db_->Execute(
+      "SELECT probes.name, count(*) FROM probes, sequences "
+      "WHERE contains(sequences.seq, probes.p) GROUP BY probes.name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);  // Only the matching probe groups.
+  EXPECT_EQ(r->rows[0][0].AsString().value(), "plant");
+}
+
+TEST_F(FullStackTest, OntologyResolvesRepositoryTermsToAlgebra) {
+  auto onto = ontology::BuildCoreGenomicsOntology().value();
+  // A repository says "pre-mRNA"; the ontology maps it to the sort the
+  // warehouse's algebra actually implements.
+  auto term = onto.Resolve("pre-mRNA");
+  ASSERT_TRUE(term.ok());
+  auto sort = onto.SortOf((*term)->id);
+  ASSERT_TRUE(sort.ok());
+  EXPECT_TRUE(algebra_.HasSort(*sort));
+  // And the process vocabulary maps to executable operators.
+  auto splicing = onto.Resolve("splicing");
+  ASSERT_TRUE(splicing.ok());
+  auto op = onto.OperatorOf((*splicing)->id);
+  ASSERT_TRUE(op.ok());
+  EXPECT_FALSE(algebra_.OverloadsOf(*op).empty());
+}
+
+TEST_F(FullStackTest, WarehouseContentExportsAsGenAlgXml) {
+  // The standardized I/O facility of Sec. 6.4: warehouse rows out to
+  // GenAlgXML and back without loss of the sequence payload.
+  auto rows = db_->Execute(
+      "SELECT accession, organism, seq FROM sequences ORDER BY accession "
+      "LIMIT 5");
+  ASSERT_TRUE(rows.ok());
+  std::vector<SequenceRecord> records;
+  for (const auto& row : rows->rows) {
+    SequenceRecord r;
+    r.accession = *row[0].AsString();
+    r.organism = *row[1].AsString();
+    auto value = adapter_->ToValue(row[2]);
+    ASSERT_TRUE(value.ok());
+    r.sequence = *value->AsNucSeq();
+    records.push_back(std::move(r));
+  }
+  auto xml = formats::WriteGenAlgXml(records);
+  auto back = formats::ParseGenAlgXml(xml);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*back)[i].accession, records[i].accession);
+    EXPECT_EQ((*back)[i].sequence, records[i].sequence);
+  }
+}
+
+TEST_F(FullStackTest, IndexedWarehouseAnswersAreIdenticalToScans) {
+  auto unindexed = db_->Execute(
+      "SELECT accession FROM sequences WHERE contains(seq, "
+      "parse_dna('ATGAAAGTCCAG')) ORDER BY accession");
+  ASSERT_TRUE(unindexed.ok());
+  ASSERT_TRUE(db_->CreateKmerIndex("sequences", "seq").ok());
+  auto indexed = db_->Execute(
+      "SELECT accession FROM sequences WHERE contains(seq, "
+      "parse_dna('ATGAAAGTCCAG')) ORDER BY accession");
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_EQ(unindexed->rows, indexed->rows);
+  // And the index stays correct under subsequent maintenance.
+  for (auto& source : sources_) ASSERT_TRUE(source->EvolveStep(0.3).ok());
+  ASSERT_TRUE(pipeline_->RunOnce().ok());
+  auto after = db_->Execute(
+      "SELECT count(*) FROM sequences WHERE contains(seq, "
+      "parse_dna('ATGAAAGTCCAG'))");
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(after->rows[0][0].AsInt().value(), 0);
+}
+
+}  // namespace
+}  // namespace genalg

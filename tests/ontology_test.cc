@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algebra/signature.h"
+#include "ontology/ontology.h"
+
+namespace genalg::ontology {
+namespace {
+
+TEST(OntologyTest, AddAndLookupTerm) {
+  Ontology o;
+  ASSERT_TRUE(o.AddTerm({"T:1", "gene", "molecular", "def", {}}).ok());
+  auto t = o.TermById("T:1");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->label, "gene");
+  EXPECT_TRUE(o.TermById("T:9").status().IsNotFound());
+  EXPECT_EQ(o.term_count(), 1u);
+}
+
+TEST(OntologyTest, RejectsDuplicates) {
+  Ontology o;
+  ASSERT_TRUE(o.AddTerm({"T:1", "gene", "molecular", "", {}}).ok());
+  EXPECT_TRUE(o.AddTerm({"T:1", "other", "x", "", {}}).IsAlreadyExists());
+  // Same label in the same context is rejected...
+  EXPECT_TRUE(
+      o.AddTerm({"T:2", "gene", "molecular", "", {}}).IsAlreadyExists());
+  // ...but the same label in a different context is a legal homonym.
+  EXPECT_TRUE(o.AddTerm({"T:3", "gene", "population", "", {}}).ok());
+  EXPECT_TRUE(o.AddTerm({"T:4", "", "x", "", {}}).IsInvalidArgument());
+}
+
+TEST(OntologyTest, SynonymResolution) {
+  Ontology o;
+  ASSERT_TRUE(o.AddTerm(
+      {"T:1", "messenger RNA", "molecular", "", {"mRNA"}}).ok());
+  EXPECT_EQ(o.Resolve("mRNA").value()->id, "T:1");
+  EXPECT_EQ(o.Resolve("MESSENGER rna").value()->id, "T:1");  // Case-free.
+  ASSERT_TRUE(o.AddSynonym("T:1", "message").ok());
+  EXPECT_EQ(o.Resolve("message").value()->id, "T:1");
+  EXPECT_TRUE(o.AddSynonym("T:9", "x").IsNotFound());
+  EXPECT_TRUE(o.Resolve("unknown").status().IsNotFound());
+}
+
+TEST(OntologyTest, HomonymsRequireContext) {
+  Ontology o;
+  ASSERT_TRUE(o.AddTerm({"T:1", "gene", "molecular", "", {}}).ok());
+  ASSERT_TRUE(o.AddTerm({"T:2", "gene", "population", "", {}}).ok());
+  // Bare resolution refuses to guess and names the contexts.
+  auto r = o.Resolve("gene");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+  EXPECT_NE(r.status().message().find("molecular"), std::string::npos);
+  EXPECT_NE(r.status().message().find("population"), std::string::npos);
+  // Context-qualified resolution works.
+  EXPECT_EQ(o.ResolveInContext("gene", "molecular").value()->id, "T:1");
+  EXPECT_EQ(o.ResolveInContext("gene", "population").value()->id, "T:2");
+  EXPECT_TRUE(
+      o.ResolveInContext("gene", "astro").status().IsNotFound());
+}
+
+TEST(OntologyTest, RelationsAndAncestors) {
+  Ontology o;
+  for (const char* id : {"T:rna", "T:mrna", "T:seq", "T:pre"}) {
+    ASSERT_TRUE(o.AddTerm({id, id, "m", "", {}}).ok());
+  }
+  ASSERT_TRUE(o.Relate("T:rna", "T:seq", Relation::kIsA).ok());
+  ASSERT_TRUE(o.Relate("T:mrna", "T:rna", Relation::kIsA).ok());
+  ASSERT_TRUE(o.Relate("T:pre", "T:rna", Relation::kIsA).ok());
+  auto anc = o.Ancestors("T:mrna", Relation::kIsA);
+  ASSERT_TRUE(anc.ok());
+  EXPECT_EQ(*anc, (std::set<std::string>{"T:rna", "T:seq"}));
+  EXPECT_TRUE(o.IsA("T:mrna", "T:seq").value());
+  EXPECT_FALSE(o.IsA("T:seq", "T:mrna").value());
+  EXPECT_FALSE(o.IsA("T:mrna", "T:pre").value());  // Siblings.
+  EXPECT_TRUE(o.Relate("T:x", "T:rna", Relation::kIsA).IsNotFound());
+}
+
+TEST(OntologyTest, CycleRejection) {
+  Ontology o;
+  for (const char* id : {"A", "B", "C"}) {
+    ASSERT_TRUE(o.AddTerm({id, id, "m", "", {}}).ok());
+  }
+  ASSERT_TRUE(o.Relate("A", "B", Relation::kIsA).ok());
+  ASSERT_TRUE(o.Relate("B", "C", Relation::kIsA).ok());
+  EXPECT_TRUE(o.Relate("C", "A", Relation::kIsA).IsInvalidArgument());
+  EXPECT_TRUE(o.Relate("A", "A", Relation::kIsA).IsInvalidArgument());
+  // Cycles are tracked per relation: C part-of A is fine.
+  EXPECT_TRUE(o.Relate("C", "A", Relation::kPartOf).ok());
+}
+
+TEST(OntologyTest, AlgebraBindings) {
+  Ontology o;
+  ASSERT_TRUE(o.AddTerm({"T:1", "gene", "molecular", "", {}}).ok());
+  ASSERT_TRUE(o.AddTerm({"T:2", "transcription", "process", "", {}}).ok());
+  ASSERT_TRUE(o.MapToSort("T:1", "gene").ok());
+  ASSERT_TRUE(o.MapToOperator("T:2", "transcribe").ok());
+  EXPECT_EQ(o.SortOf("T:1").value(), "gene");
+  EXPECT_EQ(o.OperatorOf("T:2").value(), "transcribe");
+  EXPECT_TRUE(o.SortOf("T:2").status().IsNotFound());
+  EXPECT_TRUE(o.MapToSort("T:9", "x").IsNotFound());
+}
+
+TEST(OntologyTest, UnrealizedTermsAgainstRegistry) {
+  algebra::SignatureRegistry registry;
+  ASSERT_TRUE(algebra::RegisterStandardAlgebra(&registry).ok());
+  Ontology o;
+  ASSERT_TRUE(o.AddTerm({"T:1", "gene", "molecular", "", {}}).ok());
+  ASSERT_TRUE(o.AddTerm({"T:2", "quantum state", "physics", "", {}}).ok());
+  ASSERT_TRUE(o.MapToSort("T:1", "gene").ok());
+  ASSERT_TRUE(o.MapToSort("T:2", "qubit").ok());           // Missing sort.
+  ASSERT_TRUE(o.MapToOperator("T:2", "teleport").ok());    // Missing op.
+  auto missing = o.UnrealizedTerms(registry);
+  EXPECT_EQ(missing, (std::vector<std::string>{"T:2", "T:2"}));
+}
+
+// --------------------------------------------- The shipped core ontology.
+
+TEST(CoreOntologyTest, BuildsAndIsFullyRealized) {
+  auto onto = BuildCoreGenomicsOntology();
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  EXPECT_EQ(onto->term_count(), 25u);
+
+  algebra::SignatureRegistry registry;
+  ASSERT_TRUE(algebra::RegisterStandardAlgebra(&registry).ok());
+  // Every mapped term is realized by the standard algebra — the paper's
+  // "derived, formal, and executable instantiation" claim.
+  EXPECT_TRUE(onto->UnrealizedTerms(registry).empty());
+}
+
+TEST(CoreOntologyTest, RepositorySynonymsResolve) {
+  auto onto = BuildCoreGenomicsOntology().value();
+  EXPECT_EQ(onto.Resolve("mRNA").value()->id, "GA:0005");
+  EXPECT_EQ(onto.Resolve("pre-mRNA").value()->id, "GA:0004");
+  EXPECT_EQ(onto.Resolve("ORF").value()->id, "GA:0012");
+  EXPECT_EQ(onto.Resolve("revcomp").value()->id, "GA:0016");
+  EXPECT_EQ(onto.Resolve("codon table").value()->id, "GA:0025");
+}
+
+TEST(CoreOntologyTest, GeneHomonymIsWorked) {
+  auto onto = BuildCoreGenomicsOntology().value();
+  EXPECT_TRUE(onto.Resolve("gene").status().IsFailedPrecondition());
+  EXPECT_EQ(onto.ResolveInContext("gene", "molecular").value()->id,
+            "GA:0002");
+  EXPECT_EQ(onto.ResolveInContext("gene", "population").value()->id,
+            "GA:0003");
+}
+
+TEST(CoreOntologyTest, TaxonomyIsSensible) {
+  auto onto = BuildCoreGenomicsOntology().value();
+  // mRNA is-a RNA is-a nucleotide sequence.
+  EXPECT_TRUE(onto.IsA("GA:0005", "GA:0022").value());
+  EXPECT_TRUE(onto.IsA("GA:0005", "GA:0001").value());
+  EXPECT_FALSE(onto.IsA("GA:0001", "GA:0005").value());
+  // exon part-of primary transcript.
+  auto parts = onto.Ancestors("GA:0009", Relation::kPartOf).value();
+  EXPECT_TRUE(parts.count("GA:0004"));
+}
+
+TEST(CoreOntologyTest, ProcessTermsMapToMiniAlgebra) {
+  auto onto = BuildCoreGenomicsOntology().value();
+  EXPECT_EQ(onto.OperatorOf("GA:0013").value(), "transcribe");
+  EXPECT_EQ(onto.OperatorOf("GA:0014").value(), "splice");
+  EXPECT_EQ(onto.OperatorOf("GA:0015").value(), "translate");
+  EXPECT_EQ(onto.SortOf("GA:0002").value(), "gene");
+  EXPECT_EQ(onto.SortOf("GA:0006").value(), "protein");
+}
+
+}  // namespace
+}  // namespace genalg::ontology
