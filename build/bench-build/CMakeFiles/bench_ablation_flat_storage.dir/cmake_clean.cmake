@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_flat_storage"
+  "../bench/bench_ablation_flat_storage.pdb"
+  "CMakeFiles/bench_ablation_flat_storage.dir/bench_ablation_flat_storage.cc.o"
+  "CMakeFiles/bench_ablation_flat_storage.dir/bench_ablation_flat_storage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flat_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_optimizer"
+  "../bench/bench_ablation_optimizer.pdb"
+  "CMakeFiles/bench_ablation_optimizer.dir/bench_ablation_optimizer.cc.o"
+  "CMakeFiles/bench_ablation_optimizer.dir/bench_ablation_optimizer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

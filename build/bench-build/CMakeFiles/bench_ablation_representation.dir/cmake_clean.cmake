@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_representation"
+  "../bench/bench_ablation_representation.pdb"
+  "CMakeFiles/bench_ablation_representation.dir/bench_ablation_representation.cc.o"
+  "CMakeFiles/bench_ablation_representation.dir/bench_ablation_representation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_representation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

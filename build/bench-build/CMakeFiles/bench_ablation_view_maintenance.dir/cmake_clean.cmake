@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_view_maintenance"
+  "../bench/bench_ablation_view_maintenance.pdb"
+  "CMakeFiles/bench_ablation_view_maintenance.dir/bench_ablation_view_maintenance.cc.o"
+  "CMakeFiles/bench_ablation_view_maintenance.dir/bench_ablation_view_maintenance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_view_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_change_detection"
+  "../bench/bench_fig2_change_detection.pdb"
+  "CMakeFiles/bench_fig2_change_detection.dir/bench_fig2_change_detection.cc.o"
+  "CMakeFiles/bench_fig2_change_detection.dir/bench_fig2_change_detection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_change_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_udt_sql"
+  "../bench/bench_fig3_udt_sql.pdb"
+  "CMakeFiles/bench_fig3_udt_sql.dir/bench_fig3_udt_sql.cc.o"
+  "CMakeFiles/bench_fig3_udt_sql.dir/bench_fig3_udt_sql.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_udt_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

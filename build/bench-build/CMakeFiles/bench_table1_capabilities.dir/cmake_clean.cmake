@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_capabilities"
+  "../bench/bench_table1_capabilities.pdb"
+  "CMakeFiles/bench_table1_capabilities.dir/bench_table1_capabilities.cc.o"
+  "CMakeFiles/bench_table1_capabilities.dir/bench_table1_capabilities.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biologist_repl.dir/biologist_repl.cpp.o"
+  "CMakeFiles/biologist_repl.dir/biologist_repl.cpp.o.d"
+  "biologist_repl"
+  "biologist_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biologist_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

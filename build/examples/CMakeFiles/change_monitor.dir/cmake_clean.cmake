@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_monitor.dir/change_monitor.cpp.o"
+  "CMakeFiles/change_monitor.dir/change_monitor.cpp.o.d"
+  "change_monitor"
+  "change_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

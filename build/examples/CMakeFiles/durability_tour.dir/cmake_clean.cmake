@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_tour.dir/durability_tour.cpp.o"
+  "CMakeFiles/durability_tour.dir/durability_tour.cpp.o.d"
+  "durability_tour"
+  "durability_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

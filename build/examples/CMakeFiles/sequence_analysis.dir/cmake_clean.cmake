@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_analysis.dir/sequence_analysis.cpp.o"
+  "CMakeFiles/sequence_analysis.dir/sequence_analysis.cpp.o.d"
+  "sequence_analysis"
+  "sequence_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

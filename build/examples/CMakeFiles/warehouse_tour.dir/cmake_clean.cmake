@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_tour.dir/warehouse_tour.cpp.o"
+  "CMakeFiles/warehouse_tour.dir/warehouse_tour.cpp.o.d"
+  "warehouse_tour"
+  "warehouse_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

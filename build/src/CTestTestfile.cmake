@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("seq")
+subdirs("gdt")
+subdirs("align")
+subdirs("index")
+subdirs("algebra")
+subdirs("ontology")
+subdirs("formats")
+subdirs("udb")
+subdirs("etl")
+subdirs("mediator")
+subdirs("bql")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/builtin_ops.cc" "src/algebra/CMakeFiles/genalg_algebra.dir/builtin_ops.cc.o" "gcc" "src/algebra/CMakeFiles/genalg_algebra.dir/builtin_ops.cc.o.d"
+  "/root/repo/src/algebra/signature.cc" "src/algebra/CMakeFiles/genalg_algebra.dir/signature.cc.o" "gcc" "src/algebra/CMakeFiles/genalg_algebra.dir/signature.cc.o.d"
+  "/root/repo/src/algebra/term.cc" "src/algebra/CMakeFiles/genalg_algebra.dir/term.cc.o" "gcc" "src/algebra/CMakeFiles/genalg_algebra.dir/term.cc.o.d"
+  "/root/repo/src/algebra/value.cc" "src/algebra/CMakeFiles/genalg_algebra.dir/value.cc.o" "gcc" "src/algebra/CMakeFiles/genalg_algebra.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/genalg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/genalg_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdt/CMakeFiles/genalg_gdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/genalg_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

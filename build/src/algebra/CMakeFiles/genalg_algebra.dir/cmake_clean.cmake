@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_algebra.dir/builtin_ops.cc.o"
+  "CMakeFiles/genalg_algebra.dir/builtin_ops.cc.o.d"
+  "CMakeFiles/genalg_algebra.dir/signature.cc.o"
+  "CMakeFiles/genalg_algebra.dir/signature.cc.o.d"
+  "CMakeFiles/genalg_algebra.dir/term.cc.o"
+  "CMakeFiles/genalg_algebra.dir/term.cc.o.d"
+  "CMakeFiles/genalg_algebra.dir/value.cc.o"
+  "CMakeFiles/genalg_algebra.dir/value.cc.o.d"
+  "libgenalg_algebra.a"
+  "libgenalg_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

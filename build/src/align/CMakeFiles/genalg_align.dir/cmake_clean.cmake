@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_align.dir/aligner.cc.o"
+  "CMakeFiles/genalg_align.dir/aligner.cc.o.d"
+  "CMakeFiles/genalg_align.dir/scoring.cc.o"
+  "CMakeFiles/genalg_align.dir/scoring.cc.o.d"
+  "libgenalg_align.a"
+  "libgenalg_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

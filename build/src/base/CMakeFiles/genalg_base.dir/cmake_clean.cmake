@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_base.dir/status.cc.o"
+  "CMakeFiles/genalg_base.dir/status.cc.o.d"
+  "CMakeFiles/genalg_base.dir/strings.cc.o"
+  "CMakeFiles/genalg_base.dir/strings.cc.o.d"
+  "libgenalg_base.a"
+  "libgenalg_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

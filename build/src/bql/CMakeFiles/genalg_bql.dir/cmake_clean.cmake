@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_bql.dir/bql.cc.o"
+  "CMakeFiles/genalg_bql.dir/bql.cc.o.d"
+  "CMakeFiles/genalg_bql.dir/render.cc.o"
+  "CMakeFiles/genalg_bql.dir/render.cc.o.d"
+  "libgenalg_bql.a"
+  "libgenalg_bql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_bql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

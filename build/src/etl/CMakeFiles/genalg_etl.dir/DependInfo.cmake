@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/etl/diff.cc" "src/etl/CMakeFiles/genalg_etl.dir/diff.cc.o" "gcc" "src/etl/CMakeFiles/genalg_etl.dir/diff.cc.o.d"
+  "/root/repo/src/etl/integrator.cc" "src/etl/CMakeFiles/genalg_etl.dir/integrator.cc.o" "gcc" "src/etl/CMakeFiles/genalg_etl.dir/integrator.cc.o.d"
+  "/root/repo/src/etl/monitor.cc" "src/etl/CMakeFiles/genalg_etl.dir/monitor.cc.o" "gcc" "src/etl/CMakeFiles/genalg_etl.dir/monitor.cc.o.d"
+  "/root/repo/src/etl/pipeline.cc" "src/etl/CMakeFiles/genalg_etl.dir/pipeline.cc.o" "gcc" "src/etl/CMakeFiles/genalg_etl.dir/pipeline.cc.o.d"
+  "/root/repo/src/etl/source.cc" "src/etl/CMakeFiles/genalg_etl.dir/source.cc.o" "gcc" "src/etl/CMakeFiles/genalg_etl.dir/source.cc.o.d"
+  "/root/repo/src/etl/warehouse.cc" "src/etl/CMakeFiles/genalg_etl.dir/warehouse.cc.o" "gcc" "src/etl/CMakeFiles/genalg_etl.dir/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/genalg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/genalg_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdt/CMakeFiles/genalg_gdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/genalg_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/genalg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/genalg_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/udb/CMakeFiles/genalg_udb.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/genalg_algebra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_etl.dir/diff.cc.o"
+  "CMakeFiles/genalg_etl.dir/diff.cc.o.d"
+  "CMakeFiles/genalg_etl.dir/integrator.cc.o"
+  "CMakeFiles/genalg_etl.dir/integrator.cc.o.d"
+  "CMakeFiles/genalg_etl.dir/monitor.cc.o"
+  "CMakeFiles/genalg_etl.dir/monitor.cc.o.d"
+  "CMakeFiles/genalg_etl.dir/pipeline.cc.o"
+  "CMakeFiles/genalg_etl.dir/pipeline.cc.o.d"
+  "CMakeFiles/genalg_etl.dir/source.cc.o"
+  "CMakeFiles/genalg_etl.dir/source.cc.o.d"
+  "CMakeFiles/genalg_etl.dir/warehouse.cc.o"
+  "CMakeFiles/genalg_etl.dir/warehouse.cc.o.d"
+  "libgenalg_etl.a"
+  "libgenalg_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/formats/embl.cc" "src/formats/CMakeFiles/genalg_formats.dir/embl.cc.o" "gcc" "src/formats/CMakeFiles/genalg_formats.dir/embl.cc.o.d"
+  "/root/repo/src/formats/fasta.cc" "src/formats/CMakeFiles/genalg_formats.dir/fasta.cc.o" "gcc" "src/formats/CMakeFiles/genalg_formats.dir/fasta.cc.o.d"
+  "/root/repo/src/formats/feature_text.cc" "src/formats/CMakeFiles/genalg_formats.dir/feature_text.cc.o" "gcc" "src/formats/CMakeFiles/genalg_formats.dir/feature_text.cc.o.d"
+  "/root/repo/src/formats/genalgxml.cc" "src/formats/CMakeFiles/genalg_formats.dir/genalgxml.cc.o" "gcc" "src/formats/CMakeFiles/genalg_formats.dir/genalgxml.cc.o.d"
+  "/root/repo/src/formats/genbank.cc" "src/formats/CMakeFiles/genalg_formats.dir/genbank.cc.o" "gcc" "src/formats/CMakeFiles/genalg_formats.dir/genbank.cc.o.d"
+  "/root/repo/src/formats/tree.cc" "src/formats/CMakeFiles/genalg_formats.dir/tree.cc.o" "gcc" "src/formats/CMakeFiles/genalg_formats.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/genalg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/genalg_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdt/CMakeFiles/genalg_gdt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_formats.dir/embl.cc.o"
+  "CMakeFiles/genalg_formats.dir/embl.cc.o.d"
+  "CMakeFiles/genalg_formats.dir/fasta.cc.o"
+  "CMakeFiles/genalg_formats.dir/fasta.cc.o.d"
+  "CMakeFiles/genalg_formats.dir/feature_text.cc.o"
+  "CMakeFiles/genalg_formats.dir/feature_text.cc.o.d"
+  "CMakeFiles/genalg_formats.dir/genalgxml.cc.o"
+  "CMakeFiles/genalg_formats.dir/genalgxml.cc.o.d"
+  "CMakeFiles/genalg_formats.dir/genbank.cc.o"
+  "CMakeFiles/genalg_formats.dir/genbank.cc.o.d"
+  "CMakeFiles/genalg_formats.dir/tree.cc.o"
+  "CMakeFiles/genalg_formats.dir/tree.cc.o.d"
+  "libgenalg_formats.a"
+  "libgenalg_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_gdt.dir/entities.cc.o"
+  "CMakeFiles/genalg_gdt.dir/entities.cc.o.d"
+  "CMakeFiles/genalg_gdt.dir/feature.cc.o"
+  "CMakeFiles/genalg_gdt.dir/feature.cc.o.d"
+  "CMakeFiles/genalg_gdt.dir/ops.cc.o"
+  "CMakeFiles/genalg_gdt.dir/ops.cc.o.d"
+  "libgenalg_gdt.a"
+  "libgenalg_gdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_gdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for genalg_gdt.
+# This may be replaced when dependencies are built.

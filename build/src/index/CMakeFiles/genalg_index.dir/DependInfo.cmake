@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/kmer_index.cc" "src/index/CMakeFiles/genalg_index.dir/kmer_index.cc.o" "gcc" "src/index/CMakeFiles/genalg_index.dir/kmer_index.cc.o.d"
+  "/root/repo/src/index/suffix_array.cc" "src/index/CMakeFiles/genalg_index.dir/suffix_array.cc.o" "gcc" "src/index/CMakeFiles/genalg_index.dir/suffix_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/genalg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/genalg_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_index.dir/kmer_index.cc.o"
+  "CMakeFiles/genalg_index.dir/kmer_index.cc.o.d"
+  "CMakeFiles/genalg_index.dir/suffix_array.cc.o"
+  "CMakeFiles/genalg_index.dir/suffix_array.cc.o.d"
+  "libgenalg_index.a"
+  "libgenalg_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_mediator.dir/mediator.cc.o"
+  "CMakeFiles/genalg_mediator.dir/mediator.cc.o.d"
+  "libgenalg_mediator.a"
+  "libgenalg_mediator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_mediator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

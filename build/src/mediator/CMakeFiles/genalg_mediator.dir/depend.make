@@ -1,0 +1,2 @@
+# Empty dependencies file for genalg_mediator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_ontology.dir/ontology.cc.o"
+  "CMakeFiles/genalg_ontology.dir/ontology.cc.o.d"
+  "libgenalg_ontology.a"
+  "libgenalg_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

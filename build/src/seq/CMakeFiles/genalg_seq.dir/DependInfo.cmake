@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/alphabet.cc" "src/seq/CMakeFiles/genalg_seq.dir/alphabet.cc.o" "gcc" "src/seq/CMakeFiles/genalg_seq.dir/alphabet.cc.o.d"
+  "/root/repo/src/seq/codon_table.cc" "src/seq/CMakeFiles/genalg_seq.dir/codon_table.cc.o" "gcc" "src/seq/CMakeFiles/genalg_seq.dir/codon_table.cc.o.d"
+  "/root/repo/src/seq/nucleotide_sequence.cc" "src/seq/CMakeFiles/genalg_seq.dir/nucleotide_sequence.cc.o" "gcc" "src/seq/CMakeFiles/genalg_seq.dir/nucleotide_sequence.cc.o.d"
+  "/root/repo/src/seq/protein_sequence.cc" "src/seq/CMakeFiles/genalg_seq.dir/protein_sequence.cc.o" "gcc" "src/seq/CMakeFiles/genalg_seq.dir/protein_sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/genalg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

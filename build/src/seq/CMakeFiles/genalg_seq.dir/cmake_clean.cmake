@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_seq.dir/alphabet.cc.o"
+  "CMakeFiles/genalg_seq.dir/alphabet.cc.o.d"
+  "CMakeFiles/genalg_seq.dir/codon_table.cc.o"
+  "CMakeFiles/genalg_seq.dir/codon_table.cc.o.d"
+  "CMakeFiles/genalg_seq.dir/nucleotide_sequence.cc.o"
+  "CMakeFiles/genalg_seq.dir/nucleotide_sequence.cc.o.d"
+  "CMakeFiles/genalg_seq.dir/protein_sequence.cc.o"
+  "CMakeFiles/genalg_seq.dir/protein_sequence.cc.o.d"
+  "libgenalg_seq.a"
+  "libgenalg_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

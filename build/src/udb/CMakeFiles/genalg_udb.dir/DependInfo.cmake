@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udb/adapter.cc" "src/udb/CMakeFiles/genalg_udb.dir/adapter.cc.o" "gcc" "src/udb/CMakeFiles/genalg_udb.dir/adapter.cc.o.d"
+  "/root/repo/src/udb/btree.cc" "src/udb/CMakeFiles/genalg_udb.dir/btree.cc.o" "gcc" "src/udb/CMakeFiles/genalg_udb.dir/btree.cc.o.d"
+  "/root/repo/src/udb/database.cc" "src/udb/CMakeFiles/genalg_udb.dir/database.cc.o" "gcc" "src/udb/CMakeFiles/genalg_udb.dir/database.cc.o.d"
+  "/root/repo/src/udb/datum.cc" "src/udb/CMakeFiles/genalg_udb.dir/datum.cc.o" "gcc" "src/udb/CMakeFiles/genalg_udb.dir/datum.cc.o.d"
+  "/root/repo/src/udb/page.cc" "src/udb/CMakeFiles/genalg_udb.dir/page.cc.o" "gcc" "src/udb/CMakeFiles/genalg_udb.dir/page.cc.o.d"
+  "/root/repo/src/udb/sql_parser.cc" "src/udb/CMakeFiles/genalg_udb.dir/sql_parser.cc.o" "gcc" "src/udb/CMakeFiles/genalg_udb.dir/sql_parser.cc.o.d"
+  "/root/repo/src/udb/storage.cc" "src/udb/CMakeFiles/genalg_udb.dir/storage.cc.o" "gcc" "src/udb/CMakeFiles/genalg_udb.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/genalg_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/genalg_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdt/CMakeFiles/genalg_gdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/genalg_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/genalg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/genalg_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_udb.dir/adapter.cc.o"
+  "CMakeFiles/genalg_udb.dir/adapter.cc.o.d"
+  "CMakeFiles/genalg_udb.dir/btree.cc.o"
+  "CMakeFiles/genalg_udb.dir/btree.cc.o.d"
+  "CMakeFiles/genalg_udb.dir/database.cc.o"
+  "CMakeFiles/genalg_udb.dir/database.cc.o.d"
+  "CMakeFiles/genalg_udb.dir/datum.cc.o"
+  "CMakeFiles/genalg_udb.dir/datum.cc.o.d"
+  "CMakeFiles/genalg_udb.dir/page.cc.o"
+  "CMakeFiles/genalg_udb.dir/page.cc.o.d"
+  "CMakeFiles/genalg_udb.dir/sql_parser.cc.o"
+  "CMakeFiles/genalg_udb.dir/sql_parser.cc.o.d"
+  "CMakeFiles/genalg_udb.dir/storage.cc.o"
+  "CMakeFiles/genalg_udb.dir/storage.cc.o.d"
+  "libgenalg_udb.a"
+  "libgenalg_udb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_udb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

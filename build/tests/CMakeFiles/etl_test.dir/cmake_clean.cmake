@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etl_test.dir/etl_test.cc.o"
+  "CMakeFiles/etl_test.dir/etl_test.cc.o.d"
+  "etl_test"
+  "etl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/formats_test.cc" "tests/CMakeFiles/formats_test.dir/formats_test.cc.o" "gcc" "tests/CMakeFiles/formats_test.dir/formats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/formats/CMakeFiles/genalg_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdt/CMakeFiles/genalg_gdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/genalg_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/genalg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formats_test.dir/formats_test.cc.o"
+  "CMakeFiles/formats_test.dir/formats_test.cc.o.d"
+  "formats_test"
+  "formats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdt_test.dir/gdt_test.cc.o"
+  "CMakeFiles/gdt_test.dir/gdt_test.cc.o.d"
+  "gdt_test"
+  "gdt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

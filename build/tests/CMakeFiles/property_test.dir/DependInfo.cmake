@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ontology/CMakeFiles/genalg_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/mediator/CMakeFiles/genalg_mediator.dir/DependInfo.cmake"
+  "/root/repo/build/src/etl/CMakeFiles/genalg_etl.dir/DependInfo.cmake"
+  "/root/repo/build/src/formats/CMakeFiles/genalg_formats.dir/DependInfo.cmake"
+  "/root/repo/build/src/bql/CMakeFiles/genalg_bql.dir/DependInfo.cmake"
+  "/root/repo/build/src/udb/CMakeFiles/genalg_udb.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/genalg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/genalg_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdt/CMakeFiles/genalg_gdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/genalg_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/genalg_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/genalg_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

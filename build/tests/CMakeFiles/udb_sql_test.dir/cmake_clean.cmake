@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udb_sql_test.dir/udb_sql_test.cc.o"
+  "CMakeFiles/udb_sql_test.dir/udb_sql_test.cc.o.d"
+  "udb_sql_test"
+  "udb_sql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udb_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

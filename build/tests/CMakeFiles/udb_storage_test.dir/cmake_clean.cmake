@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udb_storage_test.dir/udb_storage_test.cc.o"
+  "CMakeFiles/udb_storage_test.dir/udb_storage_test.cc.o.d"
+  "udb_storage_test"
+  "udb_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udb_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(base_test "/root/repo/build/tests/base_test")
+set_tests_properties(base_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(seq_test "/root/repo/build/tests/seq_test")
+set_tests_properties(seq_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gdt_test "/root/repo/build/tests/gdt_test")
+set_tests_properties(gdt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(align_test "/root/repo/build/tests/align_test")
+set_tests_properties(align_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(index_test "/root/repo/build/tests/index_test")
+set_tests_properties(index_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(algebra_test "/root/repo/build/tests/algebra_test")
+set_tests_properties(algebra_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ontology_test "/root/repo/build/tests/ontology_test")
+set_tests_properties(ontology_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(formats_test "/root/repo/build/tests/formats_test")
+set_tests_properties(formats_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(udb_storage_test "/root/repo/build/tests/udb_storage_test")
+set_tests_properties(udb_storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(udb_sql_test "/root/repo/build/tests/udb_sql_test")
+set_tests_properties(udb_sql_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(etl_test "/root/repo/build/tests/etl_test")
+set_tests_properties(etl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mediator_bql_test "/root/repo/build/tests/mediator_bql_test")
+set_tests_properties(mediator_bql_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;genalg_add_test;/root/repo/tests/CMakeLists.txt;0;")
