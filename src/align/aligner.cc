@@ -1,7 +1,9 @@
 #include "align/aligner.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace genalg::align {
@@ -309,6 +311,58 @@ Result<Alignment> LocalAlign(const seq::ProteinSequence& a,
                              const GapPenalties& gaps) {
   return LocalAlign(a.ToString(), b.ToString(),
                     SubstitutionMatrix::Blosum62(), gaps);
+}
+
+namespace {
+
+// Runs `task(i)` for every i in [0, n) over the pool, keeping the first
+// non-OK status (lowest index) — the same error the serial loop would
+// surface first.
+Status ParallelIndexed(ThreadPool* pool, size_t n,
+                       const std::function<Status(size_t)>& task) {
+  if (pool == nullptr) pool = ThreadPool::Global();
+  std::vector<Status> statuses(n, Status::OK());
+  pool->ParallelFor(0, n, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) statuses[i] = task(i);
+  });
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Alignment>> BatchLocalAlign(
+    const seq::NucleotideSequence& query,
+    const std::vector<const seq::NucleotideSequence*>& targets,
+    const GapPenalties& gaps, ThreadPool* pool) {
+  std::vector<Alignment> alignments(targets.size());
+  GENALG_RETURN_IF_ERROR(ParallelIndexed(
+      pool, targets.size(), [&](size_t i) -> Status {
+        GENALG_ASSIGN_OR_RETURN(alignments[i],
+                                LocalAlign(query, *targets[i], gaps));
+        return Status::OK();
+      }));
+  return alignments;
+}
+
+Result<std::vector<bool>> BatchResembles(
+    const std::vector<std::pair<const seq::NucleotideSequence*,
+                                const seq::NucleotideSequence*>>& pairs,
+    double min_identity, size_t min_overlap, ThreadPool* pool) {
+  // std::vector<bool> is not safe for concurrent element writes; stage
+  // into bytes.
+  std::vector<uint8_t> verdicts(pairs.size(), 0);
+  GENALG_RETURN_IF_ERROR(ParallelIndexed(
+      pool, pairs.size(), [&](size_t i) -> Status {
+        GENALG_ASSIGN_OR_RETURN(
+            bool similar, Resembles(*pairs[i].first, *pairs[i].second,
+                                    min_identity, min_overlap));
+        verdicts[i] = similar ? 1 : 0;
+        return Status::OK();
+      }));
+  return std::vector<bool>(verdicts.begin(), verdicts.end());
 }
 
 Result<bool> Resembles(const seq::NucleotideSequence& a,

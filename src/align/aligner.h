@@ -4,9 +4,12 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "align/scoring.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "seq/nucleotide_sequence.h"
 #include "seq/protein_sequence.h"
 
@@ -66,6 +69,27 @@ Result<Alignment> GlobalAlign(const seq::ProteinSequence& a,
 Result<Alignment> LocalAlign(const seq::ProteinSequence& a,
                              const seq::ProteinSequence& b,
                              const GapPenalties& gaps = GapPenalties());
+
+/// Batched seed-and-extend verification: aligns `query` locally against
+/// `targets[i]` for every i, fanning the (independent) DP fills out over
+/// `pool` (nullptr ⇒ ThreadPool::Global()). Results are returned in
+/// target order and are identical to calling LocalAlign in a loop; with a
+/// size-1 pool that loop is exactly what runs. The intended callers pass
+/// the candidate documents ranked by KmerIndex::FindCandidates.
+Result<std::vector<Alignment>> BatchLocalAlign(
+    const seq::NucleotideSequence& query,
+    const std::vector<const seq::NucleotideSequence*>& targets,
+    const GapPenalties& gaps = GapPenalties(), ThreadPool* pool = nullptr);
+
+/// Batched `resembles`: evaluates Resembles(a, b) for every (a, b) pair
+/// over `pool`, returning verdicts in pair order (deterministic across
+/// pool sizes). Used by the warehouse integrator's content-matching
+/// stage and the mediator's similarity queries.
+Result<std::vector<bool>> BatchResembles(
+    const std::vector<std::pair<const seq::NucleotideSequence*,
+                                const seq::NucleotideSequence*>>& pairs,
+    double min_identity = 0.8, size_t min_overlap = 16,
+    ThreadPool* pool = nullptr);
 
 /// The paper's `resembles` operator (Sec. 6.3): true iff the best local
 /// alignment of the two sequences covers at least `min_overlap` bases and

@@ -1,0 +1,85 @@
+#ifndef GENALG_BASE_THREAD_POOL_H_
+#define GENALG_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace genalg {
+
+/// A fixed-size worker pool with a shared work queue — the concurrency
+/// substrate for the parallel k-mer index build, the ETL per-source
+/// extract, and batched seed-and-extend alignment.
+///
+/// Design rules (see DESIGN.md "Concurrency model"):
+///  - A pool of size 1 spawns no worker threads at all; every task runs
+///    inline on the calling thread, in submission order. The serial code
+///    path is therefore always available and is the default on
+///    single-core machines.
+///  - Tasks must not throw. If one does, the first exception is captured
+///    and rethrown on the thread that waits (ParallelFor), after all
+///    other chunks have finished.
+///  - The pool itself guarantees nothing about ordering between tasks;
+///    callers that need deterministic results must make each task's
+///    output land in a slot keyed by task index and do any merging
+///    themselves (this is how Build/InitialLoad stay byte-identical to
+///    their serial runs).
+class ThreadPool {
+ public:
+  /// Creates a pool running `threads` workers; 0 means
+  /// DefaultThreadCount(). A size of 1 creates no threads.
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that may run tasks concurrently (>= 1). The
+  /// calling thread of ParallelFor participates, so with size() == n a
+  /// ParallelFor uses up to n CPUs, not n + 1.
+  size_t size() const { return threads_; }
+
+  /// Enqueues one task for asynchronous execution (inline when
+  /// size() == 1). Fire-and-forget: use ParallelFor when completion must
+  /// be awaited.
+  void Submit(std::function<void()> task);
+
+  /// Splits [begin, end) into chunks of at most `grain` indices and runs
+  /// `body(chunk_begin, chunk_end)` for each, returning once every chunk
+  /// has finished. Chunk boundaries depend only on (begin, end, grain) —
+  /// never on the pool size — so a chunk's index identifies its shard
+  /// deterministically across pool sizes. With size() == 1 (or a single
+  /// chunk) the chunks run inline in ascending order: exactly the serial
+  /// loop.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// The pool size requested by the environment: GENALG_THREADS if set to
+  /// a positive integer, else std::thread::hardware_concurrency() (at
+  /// least 1). Re-read on every call, so tests may setenv between pools.
+  static size_t DefaultThreadCount();
+
+  /// The process-wide shared pool, created on first use with
+  /// DefaultThreadCount() threads. Never destroyed before exit.
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  size_t threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace genalg
+
+#endif  // GENALG_BASE_THREAD_POOL_H_

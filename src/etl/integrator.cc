@@ -112,26 +112,66 @@ Result<std::vector<ReconciledEntry>> Integrator::Reconcile(
 
   // ------------------------------ Stage 2: by content (similarity).
   if (options_.content_matching && entries.size() > 1) {
+    ThreadPool* pool =
+        options_.pool != nullptr ? options_.pool : ThreadPool::Global();
     std::vector<seq::NucleotideSequence> corpus;
     corpus.reserve(entries.size());
     for (const ReconciledEntry& e : entries) {
       corpus.push_back(e.canonical.sequence);
     }
-    GENALG_ASSIGN_OR_RETURN(index::KmerIndex kmer_index,
-                            index::KmerIndex::Build(corpus, options_.kmer_k));
+    GENALG_ASSIGN_OR_RETURN(
+        index::KmerIndex kmer_index,
+        index::KmerIndex::Build(corpus, options_.kmer_k, pool));
+    // Seeding: rank candidate partners for every entry over the pool
+    // (the index is immutable, so concurrent reads are free). Requiring
+    // a meaningful number of shared seeds keeps extension rare.
+    std::vector<std::vector<index::KmerIndex::Candidate>> seeded(
+        entries.size());
+    pool->ParallelFor(0, entries.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        seeded[i] = kmer_index.FindCandidates(corpus[i], 4);
+      }
+    });
     UnionFind clusters(entries.size());
-    for (size_t i = 0; i < entries.size(); ++i) {
-      // Require a meaningful number of shared seeds before aligning.
-      auto candidates = kmer_index.FindCandidates(corpus[i], 4);
-      for (const auto& candidate : candidates) {
-        size_t j = candidate.doc;
-        if (j <= i) continue;  // Each pair once.
-        if (clusters.Find(i) == clusters.Find(j)) continue;
-        GENALG_ASSIGN_OR_RETURN(
-            bool similar,
-            align::Resembles(corpus[i], corpus[j], options_.min_identity,
-                             options_.min_overlap));
-        if (similar) clusters.Union(i, j);
+    if (pool->size() <= 1) {
+      // Serial path: interleave verification with merging so pairs whose
+      // endpoints are already connected skip their alignment entirely.
+      for (size_t i = 0; i < entries.size(); ++i) {
+        for (const auto& candidate : seeded[i]) {
+          size_t j = candidate.doc;
+          if (j <= i) continue;  // Each pair once.
+          if (clusters.Find(i) == clusters.Find(j)) continue;
+          GENALG_ASSIGN_OR_RETURN(
+              bool similar,
+              align::Resembles(corpus[i], corpus[j], options_.min_identity,
+                               options_.min_overlap));
+          if (similar) clusters.Union(i, j);
+        }
+      }
+    } else {
+      // Parallel path: extend-and-verify every seeded pair at once, then
+      // merge serially. The connected components — and therefore the
+      // final entries — equal the serial path's: a pair it skipped was
+      // already connected, so its verdict could not change a component.
+      std::vector<std::pair<const seq::NucleotideSequence*,
+                            const seq::NucleotideSequence*>>
+          pairs;
+      std::vector<std::pair<size_t, size_t>> pair_ids;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        for (const auto& candidate : seeded[i]) {
+          size_t j = candidate.doc;
+          if (j <= i) continue;
+          pairs.emplace_back(&corpus[i], &corpus[j]);
+          pair_ids.emplace_back(i, j);
+        }
+      }
+      GENALG_ASSIGN_OR_RETURN(
+          std::vector<bool> verdicts,
+          align::BatchResembles(pairs, options_.min_identity,
+                                options_.min_overlap, pool));
+      for (size_t p = 0; p < pair_ids.size(); ++p) {
+        if (verdicts[p]) clusters.Union(pair_ids[p].first,
+                                        pair_ids[p].second);
       }
     }
     // Merge clusters under the smallest accession.

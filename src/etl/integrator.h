@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "formats/record.h"
 
 namespace genalg::etl {
@@ -40,6 +41,10 @@ class Integrator {
     size_t min_overlap = 32;     ///< Minimum aligned bases to merge.
     size_t kmer_k = 11;          ///< Candidate-generation word size.
     bool content_matching = true;  ///< Stage 2 on/off (batch loads only).
+    /// Pool for the index build and the seed-and-extend verification of
+    /// stage 2 (nullptr ⇒ ThreadPool::Global()). Results are identical
+    /// for every pool size; a size-1 pool runs the serial path.
+    ThreadPool* pool = nullptr;
   };
 
   Integrator() : options_(Options()) {}

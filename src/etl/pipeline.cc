@@ -12,14 +12,31 @@ Status EtlPipeline::AddSource(SyntheticSource* source) {
   return Status::OK();
 }
 
-Status EtlPipeline::InitialLoad() {
+std::vector<formats::SequenceRecord> EtlPipeline::ExtractAll() {
+  // One task per source: each extract reads only its own repository, and
+  // each task writes only its own slot, so the fan-out is race-free.
+  ThreadPool* pool = pool_ != nullptr ? pool_ : ThreadPool::Global();
+  std::vector<std::vector<formats::SequenceRecord>> extracted(
+      sources_.size());
+  pool->ParallelFor(0, sources_.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      extracted[i] = sources_[i]->AllRecords();
+    }
+  });
+  size_t total = 0;
+  for (const auto& batch : extracted) total += batch.size();
   std::vector<formats::SequenceRecord> all;
-  for (SyntheticSource* source : sources_) {
-    for (formats::SequenceRecord& record : source->AllRecords()) {
+  all.reserve(total);
+  for (auto& batch : extracted) {
+    for (formats::SequenceRecord& record : batch) {
       all.push_back(std::move(record));
     }
   }
-  GENALG_RETURN_IF_ERROR(warehouse_->LoadBatch(std::move(all)));
+  return all;
+}
+
+Status EtlPipeline::InitialLoad() {
+  GENALG_RETURN_IF_ERROR(warehouse_->LoadBatch(ExtractAll()));
   // Drain monitors so pre-load history is not replayed.
   for (auto& monitor : monitors_) {
     GENALG_RETURN_IF_ERROR(monitor->Poll().status());
@@ -39,13 +56,7 @@ Result<EtlPipeline::RoundStats> EtlPipeline::RunOnce() {
 }
 
 Status EtlPipeline::FullReload() {
-  std::vector<formats::SequenceRecord> all;
-  for (SyntheticSource* source : sources_) {
-    for (formats::SequenceRecord& record : source->AllRecords()) {
-      all.push_back(std::move(record));
-    }
-  }
-  GENALG_RETURN_IF_ERROR(warehouse_->FullReload(std::move(all)));
+  GENALG_RETURN_IF_ERROR(warehouse_->FullReload(ExtractAll()));
   for (auto& monitor : monitors_) {
     GENALG_RETURN_IF_ERROR(monitor->Poll().status());
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "etl/monitor.h"
 #include "etl/source.h"
 #include "etl/warehouse.h"
@@ -13,10 +14,19 @@ namespace genalg::etl {
 
 /// The assembled ETL component of Figure 3: source monitors feeding the
 /// warehouse integrator and loader. One pipeline per Unifying Database.
+///
+/// Bulk loads run the per-source extract phase concurrently (one task
+/// per source — sources are independent repositories); everything that
+/// touches the warehouse stays serialized behind the single-writer
+/// udb::Database. Extracted batches are concatenated in source order, so
+/// the loaded result is identical for every pool size.
 class EtlPipeline {
  public:
-  /// The warehouse is borrowed and must outlive the pipeline.
-  explicit EtlPipeline(Warehouse* warehouse) : warehouse_(warehouse) {}
+  /// The warehouse is borrowed and must outlive the pipeline. `pool`
+  /// (borrowed; nullptr ⇒ ThreadPool::Global()) runs the extract phase
+  /// of InitialLoad/FullReload.
+  explicit EtlPipeline(Warehouse* warehouse, ThreadPool* pool = nullptr)
+      : warehouse_(warehouse), pool_(pool) {}
 
   /// Attaches a source with the monitor matching its capability class.
   Status AddSource(SyntheticSource* source);
@@ -41,7 +51,12 @@ class EtlPipeline {
   Warehouse* warehouse() { return warehouse_; }
 
  private:
+  /// Full extracts from every source, fanned out over the pool and
+  /// concatenated in source order.
+  std::vector<formats::SequenceRecord> ExtractAll();
+
   Warehouse* warehouse_;
+  ThreadPool* pool_;
   std::vector<SyntheticSource*> sources_;
   std::vector<std::unique_ptr<SourceMonitor>> monitors_;
 };

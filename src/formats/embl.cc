@@ -27,6 +27,14 @@ void FlushFeature(SequenceRecord* record, gdt::Feature* feature,
 
 Result<std::vector<SequenceRecord>> ParseEmbl(std::string_view text) {
   std::vector<SequenceRecord> records;
+  // One record per "ID   " line; reserving avoids reallocation while the
+  // per-line loop grows `records`.
+  size_t id_count = 0;
+  for (size_t pos = text.find("ID   "); pos != std::string_view::npos;
+       pos = text.find("ID   ", pos + 5)) {
+    if (pos == 0 || text[pos - 1] == '\n') ++id_count;
+  }
+  records.reserve(id_count);
   SequenceRecord record;
   bool in_record = false;
   bool in_sequence = false;
@@ -71,7 +79,7 @@ Result<std::vector<SequenceRecord>> ParseEmbl(std::string_view text) {
       }
       in_record = true;
       // ID   SYN000042; SV 2; linear; DNA; SYNDB; 1234 BP.
-      auto parts = Split(std::string(stripped.substr(5)), ';');
+      auto parts = Split(stripped.substr(5), ';');
       if (parts.empty()) {
         return Status::Corruption("malformed ID line " +
                                   std::to_string(line_no));

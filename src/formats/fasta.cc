@@ -6,6 +6,13 @@ namespace genalg::formats {
 
 Result<std::vector<SequenceRecord>> ParseFasta(std::string_view text) {
   std::vector<SequenceRecord> records;
+  // One record per header line; counting them up front avoids repeated
+  // reallocation of `records` while it grows inside the line loop.
+  size_t headers = 0;
+  for (size_t pos = 0; pos < text.size(); ++pos) {
+    if (text[pos] == '>' && (pos == 0 || text[pos - 1] == '\n')) ++headers;
+  }
+  records.reserve(headers);
   SequenceRecord* current = nullptr;
   size_t line_no = 0;
   for (const std::string& raw : Split(text, '\n')) {
@@ -57,7 +64,7 @@ std::string WriteFasta(const std::vector<SequenceRecord>& records,
     out += '\n';
     std::string seq = r.sequence.ToString();
     for (size_t pos = 0; pos < seq.size(); pos += width) {
-      out += seq.substr(pos, width);
+      out.append(seq, pos, width);
       out += '\n';
     }
     if (seq.empty()) out += '\n';

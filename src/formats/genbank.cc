@@ -28,6 +28,14 @@ void FlushFeature(SequenceRecord* record, gdt::Feature* feature,
 
 Result<std::vector<SequenceRecord>> ParseGenBank(std::string_view text) {
   std::vector<SequenceRecord> records;
+  // One record per LOCUS line; reserving avoids reallocation while the
+  // per-line loop grows `records`.
+  size_t locus_count = 0;
+  for (size_t pos = text.find("LOCUS"); pos != std::string_view::npos;
+       pos = text.find("LOCUS", pos + 5)) {
+    if (pos == 0 || text[pos - 1] == '\n') ++locus_count;
+  }
+  records.reserve(locus_count);
   SequenceRecord record;
   bool in_record = false;
   bool in_features = false;
@@ -184,9 +192,9 @@ Result<std::vector<SequenceRecord>> ParseGenBank(std::string_view text) {
     // Unknown top-level keyword: keep as attribute.
     auto fields = SplitWhitespace(stripped);
     if (!fields.empty()) {
-      std::string key = fields[0];
+      std::string& key = fields[0];
       std::string value(StripWhitespace(stripped.substr(key.size())));
-      record.attributes[key] = value;
+      record.attributes[std::move(key)] = std::move(value);
     }
   }
   if (in_record) {

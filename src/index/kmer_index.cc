@@ -19,6 +19,26 @@ int TwoBit(seq::BaseCode code) {
   }
 }
 
+// One (k-mer, posting) pair produced by the scan phase.
+struct Entry {
+  uint64_t kmer;
+  KmerIndex::Posting posting;
+};
+
+// The canonical posting order: by k-mer, then document, then position.
+// Triples are unique, so this total order makes the merged layout
+// independent of how the scan work was sharded.
+bool EntryLess(const Entry& a, const Entry& b) {
+  if (a.kmer != b.kmer) return a.kmer < b.kmer;
+  if (a.posting.doc != b.posting.doc) return a.posting.doc < b.posting.doc;
+  return a.posting.position < b.posting.position;
+}
+
+// Partitions are the high bits of the packed k-mer, so ascending partition
+// id concatenation preserves ascending k-mer order across partitions.
+constexpr size_t kPartitionBits = 6;
+constexpr size_t kPartitions = size_t{1} << kPartitionBits;
+
 }  // namespace
 
 bool PackKmer(const seq::NucleotideSequence& sequence, size_t pos, size_t k,
@@ -35,26 +55,111 @@ bool PackKmer(const seq::NucleotideSequence& sequence, size_t pos, size_t k,
 }
 
 Result<KmerIndex> KmerIndex::Build(
-    const std::vector<seq::NucleotideSequence>& corpus, size_t k) {
+    const std::vector<seq::NucleotideSequence>& corpus, size_t k,
+    ThreadPool* pool) {
   if (k < 4 || k > 31) {
     return Status::InvalidArgument("k must be in [4, 31], got " +
                                    std::to_string(k));
   }
+  if (pool == nullptr) pool = ThreadPool::Global();
   KmerIndex idx;
   idx.k_ = k;
   idx.doc_lengths_.reserve(corpus.size());
-  for (uint32_t doc = 0; doc < corpus.size(); ++doc) {
-    const seq::NucleotideSequence& s = corpus[doc];
+  for (const seq::NucleotideSequence& s : corpus) {
     idx.doc_lengths_.push_back(static_cast<uint32_t>(s.size()));
-    if (s.size() < k) continue;
-    for (size_t pos = 0; pos + k <= s.size(); ++pos) {
-      uint64_t packed;
-      if (!PackKmer(s, pos, k, &packed)) continue;
-      idx.postings_[packed].push_back(
-          Posting{doc, static_cast<uint32_t>(pos)});
-    }
   }
+  const size_t partition_shift = 2 * k - kPartitionBits;  // k >= 4.
+
+  // ---- Scan: shard documents into contiguous chunks; each chunk emits
+  // per-partition entry runs. Chunk geometry depends only on the corpus,
+  // and every entry lands in a slot keyed by (chunk, partition), so the
+  // scan is race-free and its output independent of scheduling.
+  const size_t grain = std::max<size_t>(
+      1, (corpus.size() + pool->size() * 4 - 1) / (pool->size() * 4));
+  const size_t chunks = corpus.empty()
+                            ? 0
+                            : (corpus.size() + grain - 1) / grain;
+  std::vector<std::vector<std::vector<Entry>>> scanned(
+      chunks, std::vector<std::vector<Entry>>(kPartitions));
+  pool->ParallelFor(0, corpus.size(), grain, [&](size_t lo, size_t hi) {
+    std::vector<std::vector<Entry>>& buckets = scanned[lo / grain];
+    for (size_t doc = lo; doc < hi; ++doc) {
+      const seq::NucleotideSequence& s = corpus[doc];
+      if (s.size() < k) continue;
+      for (size_t pos = 0; pos + k <= s.size(); ++pos) {
+        uint64_t packed;
+        if (!PackKmer(s, pos, k, &packed)) continue;
+        buckets[packed >> partition_shift].push_back(
+            Entry{packed, Posting{static_cast<uint32_t>(doc),
+                                  static_cast<uint32_t>(pos)}});
+      }
+    }
+  });
+
+  // ---- Merge: per partition, concatenate the chunk runs and sort into
+  // the canonical (kmer, doc, position) order. Partitions are disjoint
+  // k-mer ranges, so they merge independently.
+  std::vector<std::vector<Entry>> merged(kPartitions);
+  std::vector<size_t> distinct(kPartitions, 0);
+  pool->ParallelFor(0, kPartitions, 1, [&](size_t lo, size_t hi) {
+    for (size_t p = lo; p < hi; ++p) {
+      size_t total = 0;
+      for (size_t c = 0; c < chunks; ++c) total += scanned[c][p].size();
+      std::vector<Entry>& entries = merged[p];
+      entries.reserve(total);
+      for (size_t c = 0; c < chunks; ++c) {
+        entries.insert(entries.end(), scanned[c][p].begin(),
+                       scanned[c][p].end());
+        scanned[c][p].clear();
+        scanned[c][p].shrink_to_fit();
+      }
+      std::sort(entries.begin(), entries.end(), EntryLess);
+      size_t keys = 0;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (i == 0 || entries[i].kmer != entries[i - 1].kmer) ++keys;
+      }
+      distinct[p] = keys;
+    }
+  });
+
+  // ---- Layout: ascending partition concatenation is ascending k-mer
+  // order; per-partition bases let every partition write its slice of the
+  // final arrays without coordination.
+  std::vector<size_t> key_base(kPartitions + 1, 0);
+  std::vector<size_t> posting_base(kPartitions + 1, 0);
+  for (size_t p = 0; p < kPartitions; ++p) {
+    key_base[p + 1] = key_base[p] + distinct[p];
+    posting_base[p + 1] = posting_base[p] + merged[p].size();
+  }
+  idx.keys_.resize(key_base[kPartitions]);
+  idx.offsets_.resize(key_base[kPartitions] + 1);
+  idx.postings_.resize(posting_base[kPartitions]);
+  idx.offsets_.back() = posting_base[kPartitions];
+  pool->ParallelFor(0, kPartitions, 1, [&](size_t lo, size_t hi) {
+    for (size_t p = lo; p < hi; ++p) {
+      const std::vector<Entry>& entries = merged[p];
+      size_t key = key_base[p];
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (i == 0 || entries[i].kmer != entries[i - 1].kmer) {
+          idx.keys_[key] = entries[i].kmer;
+          idx.offsets_[key] = posting_base[p] + i;
+          ++key;
+        }
+        idx.postings_[posting_base[p] + i] = entries[i].posting;
+      }
+    }
+  });
   return idx;
+}
+
+std::pair<const KmerIndex::Posting*, const KmerIndex::Posting*>
+KmerIndex::Postings(uint64_t packed) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), packed);
+  if (it == keys_.end() || *it != packed) {
+    return {nullptr, nullptr};
+  }
+  size_t i = static_cast<size_t>(it - keys_.begin());
+  return {postings_.data() + offsets_[i], postings_.data() + offsets_[i + 1]};
 }
 
 Result<std::vector<KmerIndex::Posting>> KmerIndex::Lookup(
@@ -71,9 +176,8 @@ Result<std::vector<KmerIndex::Posting>> KmerIndex::Lookup(
   if (!PackKmer(*seq, 0, k_, &packed)) {
     return Status::InvalidArgument("k-mer contains ambiguous bases");
   }
-  auto it = postings_.find(packed);
-  if (it == postings_.end()) return std::vector<Posting>{};
-  return it->second;
+  auto [begin, end] = Postings(packed);
+  return std::vector<Posting>(begin, end);
 }
 
 std::vector<KmerIndex::Candidate> KmerIndex::FindCandidates(
@@ -83,11 +187,10 @@ std::vector<KmerIndex::Candidate> KmerIndex::FindCandidates(
   for (size_t pos = 0; pos + k_ <= query.size(); ++pos) {
     uint64_t packed;
     if (!PackKmer(query, pos, k_, &packed)) continue;
-    auto it = postings_.find(packed);
-    if (it == postings_.end()) continue;
-    for (const Posting& p : it->second) {
-      ++hits[p.doc][static_cast<int64_t>(p.position) -
-                    static_cast<int64_t>(pos)];
+    auto [begin, end] = Postings(packed);
+    for (const Posting* p = begin; p != end; ++p) {
+      ++hits[p->doc][static_cast<int64_t>(p->position) -
+                     static_cast<int64_t>(pos)];
     }
   }
   std::vector<Candidate> out;
@@ -127,12 +230,6 @@ double KmerIndex::EstimateContainsSelectivity(size_t pattern_length) const {
     sum += 1.0 - std::exp(-expected);
   }
   return sum / static_cast<double>(doc_lengths_.size());
-}
-
-size_t KmerIndex::TotalPostings() const {
-  size_t total = 0;
-  for (const auto& [kmer, list] : postings_) total += list.size();
-  return total;
 }
 
 }  // namespace genalg::index

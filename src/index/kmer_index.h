@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "seq/nucleotide_sequence.h"
 
 namespace genalg::index {
@@ -20,6 +20,12 @@ namespace genalg::index {
 /// Only unambiguous k-mers (pure A/C/G/T windows) are indexed; ambiguous
 /// windows are skipped, which makes lookups conservative: a hit is always
 /// real, a miss may still align (handled by the caller's fallback).
+///
+/// Storage is a single sorted flat layout: one contiguous `Posting`
+/// array grouped by k-mer, plus a sorted key array and an offset table.
+/// A lookup is one binary search over contiguous memory; iteration over a
+/// posting list never chases pointers. The index is immutable once built,
+/// so concurrent readers need no synchronization.
 class KmerIndex {
  public:
   /// A posting: document `doc` contains the k-mer at `position`.
@@ -35,9 +41,14 @@ class KmerIndex {
     int64_t best_diagonal;      ///< Most common (doc_pos - query_pos).
   };
 
-  /// Builds an index with word length k in [4, 31].
+  /// Builds an index with word length k in [4, 31]. Construction shards
+  /// the corpus across `pool` (nullptr ⇒ ThreadPool::Global()) into
+  /// per-shard posting runs partitioned by high k-mer bits, then merges
+  /// the partitions deterministically: the result is identical for every
+  /// pool size, including the serial size-1 pool.
   static Result<KmerIndex> Build(
-      const std::vector<seq::NucleotideSequence>& corpus, size_t k);
+      const std::vector<seq::NucleotideSequence>& corpus, size_t k,
+      ThreadPool* pool = nullptr);
 
   size_t k() const { return k_; }
   size_t corpus_size() const { return doc_lengths_.size(); }
@@ -45,6 +56,10 @@ class KmerIndex {
   /// All postings of one exact k-mer (by string, e.g. "ACGTACGT");
   /// InvalidArgument if the word length differs from k or is ambiguous.
   Result<std::vector<Posting>> Lookup(std::string_view kmer) const;
+
+  /// The posting run of one packed k-mer as a view into the flat array
+  /// (empty when absent). Zero-copy companion of Lookup.
+  std::pair<const Posting*, const Posting*> Postings(uint64_t packed) const;
 
   /// Ranks corpus documents by the number of query k-mers they share,
   /// dropping documents below `min_shared`. Candidates are sorted by
@@ -59,14 +74,22 @@ class KmerIndex {
   double EstimateContainsSelectivity(size_t pattern_length) const;
 
   /// Total number of postings stored.
-  size_t TotalPostings() const;
+  size_t TotalPostings() const { return postings_.size(); }
+
+  /// Number of distinct k-mers present.
+  size_t DistinctKmers() const { return keys_.size(); }
 
  private:
   KmerIndex() = default;
 
   size_t k_ = 0;
   std::vector<uint32_t> doc_lengths_;
-  std::unordered_map<uint64_t, std::vector<Posting>> postings_;
+  // Flat postings: keys_ holds the distinct packed k-mers in ascending
+  // order; postings_[offsets_[i], offsets_[i+1]) is the run of keys_[i],
+  // ordered by (doc, position).
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> offsets_;  // keys_.size() + 1 entries.
+  std::vector<Posting> postings_;
 };
 
 /// Packs an unambiguous A/C/G/T window into 2 bits per base. Returns false

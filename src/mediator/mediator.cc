@@ -85,13 +85,21 @@ Result<std::vector<Mediator::SimilarityHit>> Mediator::SimilarTo(
   for (SourceWrapper& wrapper : wrappers_) {
     GENALG_ASSIGN_OR_RETURN(std::vector<SequenceRecord> shipped,
                             wrapper.ExtractAll());
-    for (SequenceRecord& record : shipped) {
-      GENALG_ASSIGN_OR_RETURN(align::Alignment alignment,
-                              align::LocalAlign(query, record.sequence));
+    // Extension fans out over the global pool; hits are collected in
+    // shipping order, so the result is identical to the serial loop.
+    std::vector<const seq::NucleotideSequence*> targets;
+    targets.reserve(shipped.size());
+    for (const SequenceRecord& record : shipped) {
+      targets.push_back(&record.sequence);
+    }
+    GENALG_ASSIGN_OR_RETURN(std::vector<align::Alignment> alignments,
+                            align::BatchLocalAlign(query, targets));
+    for (size_t i = 0; i < shipped.size(); ++i) {
+      const align::Alignment& alignment = alignments[i];
       if (alignment.Length() < min_overlap) continue;
       double identity = alignment.Identity();
       if (identity < min_identity) continue;
-      hits.push_back(SimilarityHit{std::move(record), identity,
+      hits.push_back(SimilarityHit{std::move(shipped[i]), identity,
                                    alignment.score});
     }
   }

@@ -530,6 +530,95 @@ TEST_F(PipelineTest, FullReloadMatchesIncrementalResult) {
   EXPECT_EQ(incremental->rows, reloaded->rows);
 }
 
+// The parallel bulk-load path (per-source extract fan-out, sharded index
+// build, batched seed-and-extend verification) must load a warehouse
+// indistinguishable from the serial one. Each pool size gets a fresh
+// stack and identically-seeded sources; the GenAlgXML dump of the public
+// space is the equality witness (rows, features, alternates and all).
+TEST(ParallelEtlDeterminismTest, InitialLoadIdenticalAcrossPoolSizes) {
+  auto run = [](ThreadPool* pool) -> std::pair<int64_t, std::string> {
+    algebra::SignatureRegistry algebra;
+    EXPECT_TRUE(algebra::RegisterStandardAlgebra(&algebra).ok());
+    udb::Adapter adapter(&algebra);
+    EXPECT_TRUE(udb::RegisterStandardUdts(&adapter).ok());
+    udb::Database db(&adapter);
+    Integrator::Options options;
+    options.pool = pool;
+    Warehouse warehouse(&db, options);
+    EXPECT_TRUE(warehouse.InitSchema().ok());
+
+    SyntheticSource flat("FLT", SourceRepresentation::kFlatFile,
+                         SourceCapability::kLogged, 301);
+    SyntheticSource hier("HIR", SourceRepresentation::kHierarchical,
+                         SourceCapability::kQueryable, 302);
+    SyntheticSource rel("REL", SourceRepresentation::kRelational,
+                        SourceCapability::kNonQueryable, 303);
+    EXPECT_TRUE(flat.Populate(10, 200).ok());
+    EXPECT_TRUE(hier.Populate(9, 200).ok());
+    EXPECT_TRUE(rel.Populate(8, 200).ok());
+
+    EtlPipeline pipeline(&warehouse, pool);
+    EXPECT_TRUE(pipeline.AddSource(&flat).ok());
+    EXPECT_TRUE(pipeline.AddSource(&hier).ok());
+    EXPECT_TRUE(pipeline.AddSource(&rel).ok());
+    EXPECT_TRUE(pipeline.InitialLoad().ok());
+
+    auto count = warehouse.SequenceCount();
+    EXPECT_TRUE(count.ok());
+    auto xml = warehouse.ExportGenAlgXml();
+    EXPECT_TRUE(xml.ok());
+    return {count.value_or(-1), xml.value_or("")};
+  };
+
+  ThreadPool serial(1);
+  auto [serial_count, serial_xml] = run(&serial);
+  EXPECT_GT(serial_count, 0);
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    auto [count, xml] = run(&pool);
+    EXPECT_EQ(count, serial_count) << "threads=" << threads;
+    EXPECT_EQ(xml, serial_xml) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEtlDeterminismTest, FullReloadIdenticalAcrossPoolSizes) {
+  auto run = [](ThreadPool* pool) -> std::string {
+    algebra::SignatureRegistry algebra;
+    EXPECT_TRUE(algebra::RegisterStandardAlgebra(&algebra).ok());
+    udb::Adapter adapter(&algebra);
+    EXPECT_TRUE(udb::RegisterStandardUdts(&adapter).ok());
+    udb::Database db(&adapter);
+    Integrator::Options options;
+    options.pool = pool;
+    Warehouse warehouse(&db, options);
+    EXPECT_TRUE(warehouse.InitSchema().ok());
+
+    SyntheticSource a("SRC_A", SourceRepresentation::kFlatFile,
+                      SourceCapability::kLogged, 311);
+    SyntheticSource b("SRC_B", SourceRepresentation::kRelational,
+                      SourceCapability::kQueryable, 312);
+    EXPECT_TRUE(a.Populate(8, 150).ok());
+    EXPECT_TRUE(b.Populate(7, 150).ok());
+
+    EtlPipeline pipeline(&warehouse, pool);
+    EXPECT_TRUE(pipeline.AddSource(&a).ok());
+    EXPECT_TRUE(pipeline.AddSource(&b).ok());
+    EXPECT_TRUE(pipeline.InitialLoad().ok());
+    EXPECT_TRUE(a.EvolveStep(0.4, 0.5).ok());
+    EXPECT_TRUE(b.EvolveStep(0.4, 0.5).ok());
+    EXPECT_TRUE(pipeline.FullReload().ok());
+    return warehouse.ExportGenAlgXml().value_or("");
+  };
+
+  ThreadPool serial(1);
+  std::string serial_xml = run(&serial);
+  ASSERT_FALSE(serial_xml.empty());
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(run(&pool), serial_xml) << "threads=" << threads;
+  }
+}
+
 TEST_F(PipelineTest, DeriveProteinsEvolvesTheSchema) {
   // A record carrying a clean forward gene and one carrying a reverse
   // gene; one noisy annotation (span past the end) must be skipped.

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/rng.h"
+#include "base/thread_pool.h"
 #include "index/kmer_index.h"
 #include "index/suffix_array.h"
 #include "seq/nucleotide_sequence.h"
@@ -196,6 +200,103 @@ TEST(KmerIndexTest, SelectivityEstimateBehaviour) {
     double s = idx.EstimateContainsSelectivity(len);
     EXPECT_LE(s, prev + 1e-12);
     prev = s;
+  }
+}
+
+TEST(KmerIndexTest, DistinctKmersCountsKeys) {
+  auto s = NucleotideSequence::Dna("ACGTACGTAA").value();
+  auto idx = KmerIndex::Build({s}, 4).value();
+  // Windows: ACGT CGTA GTAC TACG ACGT CGTA GTAA -> 5 distinct.
+  EXPECT_EQ(idx.DistinctKmers(), 5u);
+  EXPECT_EQ(idx.TotalPostings(), 7u);
+}
+
+TEST(KmerIndexTest, PostingsViewMatchesLookup) {
+  Rng rng(67);
+  auto corpus = MakeCorpus(&rng, 8, 300);
+  auto idx = KmerIndex::Build(corpus, 9).value();
+  for (size_t doc = 0; doc < corpus.size(); ++doc) {
+    for (size_t pos = 0; pos + 9 <= corpus[doc].size(); pos += 13) {
+      uint64_t packed;
+      ASSERT_TRUE(PackKmer(corpus[doc], pos, 9, &packed));
+      auto [begin, end] = idx.Postings(packed);
+      auto via_lookup =
+          idx.Lookup(corpus[doc].Subsequence(pos, 9).value().ToString())
+              .value();
+      ASSERT_EQ(static_cast<size_t>(end - begin), via_lookup.size());
+      bool found_self = false;
+      for (const KmerIndex::Posting* p = begin; p != end; ++p) {
+        if (p->doc == doc && p->position == pos) found_self = true;
+      }
+      EXPECT_TRUE(found_self);
+    }
+  }
+  EXPECT_EQ(idx.Postings(0xFFFFFFFFu).first, idx.Postings(0xFFFFFFFFu).second);
+}
+
+// Reference build: the pre-flat-layout serial algorithm, kept here as the
+// oracle the production build (serial or parallel) must reproduce.
+std::map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>>
+NaivePostings(const std::vector<NucleotideSequence>& corpus, size_t k) {
+  std::map<uint64_t, std::vector<std::pair<uint32_t, uint32_t>>> naive;
+  for (uint32_t doc = 0; doc < corpus.size(); ++doc) {
+    for (size_t pos = 0; pos + k <= corpus[doc].size(); ++pos) {
+      uint64_t packed;
+      if (!PackKmer(corpus[doc], pos, k, &packed)) continue;
+      naive[packed].emplace_back(doc, static_cast<uint32_t>(pos));
+    }
+  }
+  return naive;
+}
+
+TEST(KmerIndexTest, ParallelBuildIdenticalToSerialAcrossPoolSizes) {
+  Rng rng(71);
+  auto corpus = MakeCorpus(&rng, 37, 400);
+  // A couple of ambiguous runs so skipped windows are exercised too.
+  corpus.push_back(NucleotideSequence::Dna("ACGTNNNNACGTACGTNACGT").value());
+  const size_t k = 9;
+  auto naive = NaivePostings(corpus, k);
+  size_t naive_total = 0;
+  for (const auto& [kmer, list] : naive) naive_total += list.size();
+
+  ThreadPool serial(1);
+  auto reference = KmerIndex::Build(corpus, k, &serial).value();
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    auto idx = KmerIndex::Build(corpus, k, &pool).value();
+    EXPECT_EQ(idx.TotalPostings(), naive_total) << "threads=" << threads;
+    EXPECT_EQ(idx.DistinctKmers(), naive.size()) << "threads=" << threads;
+    // Every posting run must equal the oracle's, in (doc, pos) order.
+    for (const auto& [kmer, list] : naive) {
+      auto [begin, end] = idx.Postings(kmer);
+      ASSERT_EQ(static_cast<size_t>(end - begin), list.size())
+          << "threads=" << threads;
+      for (size_t i = 0; i < list.size(); ++i) {
+        EXPECT_EQ(begin[i].doc, list[i].first);
+        EXPECT_EQ(begin[i].position, list[i].second);
+      }
+    }
+    // And candidate ranking (the consumer-visible surface) must agree
+    // with the serial pool's.
+    auto query = corpus[5];
+    auto a = reference.FindCandidates(query, 2);
+    auto b = idx.FindCandidates(query, 2);
+    ASSERT_EQ(a.size(), b.size()) << "threads=" << threads;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_EQ(a[i].shared_kmers, b[i].shared_kmers);
+      EXPECT_EQ(a[i].best_diagonal, b[i].best_diagonal);
+    }
+  }
+}
+
+TEST(KmerIndexTest, EmptyCorpusBuildsEmptyIndex) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    auto idx = KmerIndex::Build({}, 8, &pool).value();
+    EXPECT_EQ(idx.TotalPostings(), 0u);
+    EXPECT_EQ(idx.DistinctKmers(), 0u);
+    EXPECT_TRUE(idx.Lookup("ACGTACGT").value().empty());
   }
 }
 
