@@ -224,8 +224,11 @@ Status RegisterStandardAlgebra(SignatureRegistry* registry) {
       [](const std::vector<Value>& args) -> Result<Value> {
         GENALG_ASSIGN_OR_RETURN(NucleotideSequence a, args[0].AsNucSeq());
         GENALG_ASSIGN_OR_RETURN(NucleotideSequence b, args[1].AsNucSeq());
-        GENALG_ASSIGN_OR_RETURN(align::Alignment al, align::LocalAlign(a, b));
-        return Value::Int(al.score);
+        GENALG_ASSIGN_OR_RETURN(
+            int64_t score,
+            align::LocalAlignScore(a.ToString(), b.ToString(),
+                                   align::SubstitutionMatrix::Nucleotide()));
+        return Value::Int(score);
       },
       "Best local alignment score (Smith-Waterman, affine gaps)."));
 

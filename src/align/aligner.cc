@@ -15,15 +15,25 @@ constexpr int64_t kNegInf = std::numeric_limits<int64_t>::min() / 4;
 // Which matrix a traceback step came from.
 enum class Layer : uint8_t { kM = 0, kX = 1, kY = 2, kStop = 3 };
 
+// The three full DP layers, either self-owned or carved out of a caller's
+// AlignScratch arena so batch drivers can recycle one allocation across
+// many pairs.
 struct Dp {
   size_t cols;
-  std::vector<int64_t> m, x, y;
+  int64_t* m;
+  int64_t* x;
+  int64_t* y;
+  std::vector<int64_t> own;
 
-  Dp(size_t rows, size_t columns)
-      : cols(columns),
-        m(rows * columns, kNegInf),
-        x(rows * columns, kNegInf),
-        y(rows * columns, kNegInf) {}
+  Dp(size_t rows, size_t columns, AlignScratch* scratch) : cols(columns) {
+    const size_t cells = rows * columns;
+    std::vector<int64_t>& store =
+        scratch != nullptr ? scratch->full_dp : own;
+    store.assign(cells * 3, kNegInf);
+    m = store.data();
+    x = store.data() + cells;
+    y = store.data() + 2 * cells;
+  }
 
   size_t Idx(size_t i, size_t j) const { return i * cols + j; }
 };
@@ -46,6 +56,9 @@ Alignment TraceBack(const Dp& dp, std::string_view a, std::string_view b,
   out.end_a = i;
   out.end_b = j;
   std::string ra, rb;
+  // An alignment ending at (i, j) has at most i + j columns.
+  ra.reserve(i + j);
+  rb.reserve(i + j);
   while (i > 0 || j > 0) {
     size_t idx = dp.Idx(i, j);
     if (layer == Layer::kM) {
@@ -113,11 +126,12 @@ double Alignment::Identity() const {
 
 Result<Alignment> GlobalAlign(std::string_view a, std::string_view b,
                               const SubstitutionMatrix& scoring,
-                              const GapPenalties& gaps) {
+                              const GapPenalties& gaps,
+                              AlignScratch* scratch) {
   GENALG_RETURN_IF_ERROR(CheckGaps(gaps));
   const size_t n = a.size();
   const size_t m = b.size();
-  Dp dp(n + 1, m + 1);
+  Dp dp(n + 1, m + 1, scratch);
   dp.m[dp.Idx(0, 0)] = 0;
   for (size_t i = 1; i <= n; ++i) {
     dp.x[dp.Idx(i, 0)] =
@@ -158,11 +172,14 @@ Result<Alignment> GlobalAlign(std::string_view a, std::string_view b,
 
 Result<Alignment> LocalAlign(std::string_view a, std::string_view b,
                              const SubstitutionMatrix& scoring,
-                             const GapPenalties& gaps) {
+                             const GapPenalties& gaps,
+                             AlignScratch* scratch) {
   GENALG_RETURN_IF_ERROR(CheckGaps(gaps));
+  // Nothing can align against an empty input: skip the degenerate DP.
+  if (a.empty() || b.empty()) return Alignment();
   const size_t n = a.size();
   const size_t m = b.size();
-  Dp dp(n + 1, m + 1);
+  Dp dp(n + 1, m + 1, scratch);
   for (size_t i = 0; i <= n; ++i) dp.m[dp.Idx(i, 0)] = 0;
   for (size_t j = 0; j <= m; ++j) dp.m[dp.Idx(0, j)] = 0;
   int64_t best = 0;
@@ -331,17 +348,105 @@ Status ParallelIndexed(ThreadPool* pool, size_t n,
   return Status::OK();
 }
 
+// Width of the diagonal strip a seed hint buys before falling back to
+// the full-width kernels.
+constexpr size_t kHintBandWidth = 48;
+
+struct ResemblesOutcome {
+  bool hit = false;
+  double identity = 0.0;
+  int64_t score = 0;
+};
+
+// Decides the `resembles` predicate for one pair. The verdict is
+// bit-identical to running the full local alignment and checking its
+// length and identity — the kernels only change how cheaply a verdict is
+// reached:
+//   1. trivial rejects (empty inputs; shorter input cannot hold the
+//      identity matches the predicate demands);
+//   2. a score floor every qualifying alignment must reach: refuted in
+//      O(min(n, m)) memory — confirmed cheaply via a banded fill around
+//      the seed diagonal when the caller has one, else via the
+//      early-terminating full-width kernel;
+//   3. only pairs whose score clears the floor pay for the O(n*m)
+//      traceback DP that yields length and identity.
+Result<ResemblesOutcome> ResemblesScreened(std::string_view a,
+                                           std::string_view b,
+                                           double min_identity,
+                                           size_t min_overlap,
+                                           int64_t diagonal_hint,
+                                           AlignScratch* scratch) {
+  ResemblesOutcome out;
+  const GapPenalties gaps;
+  const SubstitutionMatrix scoring = SubstitutionMatrix::Nucleotide();
+  // The full DP on an empty input yields the empty alignment (length 0,
+  // identity 0); answer with its verdict directly.
+  if (a.empty() || b.empty()) {
+    out.hit = min_overlap == 0 && min_identity <= 0.0;
+    return out;
+  }
+  if (min_identity > 1.0) return out;  // Identity never exceeds 1.
+  const double theta = std::max(0.0, min_identity);
+  // A qualifying alignment holds >= theta * min_overlap identity-match
+  // columns, and matches cannot outnumber the shorter input.
+  if (theta > 0.0 && static_cast<double>(std::min(a.size(), b.size())) <
+                         theta * static_cast<double>(min_overlap) - 1e-6) {
+    return out;
+  }
+  const ScoringProfile& profile = ScoringProfile::NucleotideDefault();
+  profile.Encode(a, &scratch->codes_a);
+  profile.Encode(b, &scratch->codes_b);
+  const int64_t floor =
+      ResemblesScoreFloor(profile, gaps, min_identity, min_overlap,
+                          scratch->codes_a, scratch->codes_b);
+  if (floor == std::numeric_limits<int64_t>::max()) return out;
+  if (floor > 0) {
+    bool reachable = false;
+    if (diagonal_hint != kNoDiagonalHint) {
+      // The banded score is a lower bound of the true best, so clearing
+      // the floor inside the band is conclusive; missing it is not.
+      GENALG_ASSIGN_OR_RETURN(
+          int64_t banded,
+          BandedLocalAlignScore(a, b, scoring, gaps, diagonal_hint,
+                                kHintBandWidth, scratch));
+      reachable = banded >= floor;
+    }
+    if (!reachable) {
+      GENALG_ASSIGN_OR_RETURN(
+          reachable, LocalScoreReaches(a, b, scoring, gaps, floor, scratch));
+    }
+    if (!reachable) return out;  // Best score provably below the floor.
+  }
+  // The screen could not refute the predicate: one full DP, answered
+  // from the alignment exactly as the slow path always did.
+  GENALG_ASSIGN_OR_RETURN(Alignment best,
+                          LocalAlign(a, b, scoring, gaps, scratch));
+  if (best.Length() < min_overlap) return out;
+  const double identity = best.Identity();
+  if (identity < min_identity) return out;
+  out.hit = true;
+  out.identity = identity;
+  out.score = best.score;
+  return out;
+}
+
 }  // namespace
 
 Result<std::vector<Alignment>> BatchLocalAlign(
     const seq::NucleotideSequence& query,
     const std::vector<const seq::NucleotideSequence*>& targets,
     const GapPenalties& gaps, ThreadPool* pool) {
+  const std::string query_chars = query.ToString();
   std::vector<Alignment> alignments(targets.size());
   GENALG_RETURN_IF_ERROR(ParallelIndexed(
       pool, targets.size(), [&](size_t i) -> Status {
-        GENALG_ASSIGN_OR_RETURN(alignments[i],
-                                LocalAlign(query, *targets[i], gaps));
+        // One DP arena per pool worker, recycled across targets.
+        thread_local AlignScratch scratch;
+        const std::string target_chars = targets[i]->ToString();
+        GENALG_ASSIGN_OR_RETURN(
+            alignments[i],
+            LocalAlign(query_chars, target_chars,
+                       SubstitutionMatrix::Nucleotide(), gaps, &scratch));
         return Status::OK();
       }));
   return alignments;
@@ -350,30 +455,80 @@ Result<std::vector<Alignment>> BatchLocalAlign(
 Result<std::vector<bool>> BatchResembles(
     const std::vector<std::pair<const seq::NucleotideSequence*,
                                 const seq::NucleotideSequence*>>& pairs,
-    double min_identity, size_t min_overlap, ThreadPool* pool) {
+    double min_identity, size_t min_overlap, ThreadPool* pool,
+    const std::vector<int64_t>* diagonal_hints) {
+  if (min_identity < 0.0 || min_identity > 1.0) {
+    return Status::InvalidArgument("min_identity must be in [0, 1]");
+  }
+  if (diagonal_hints != nullptr && diagonal_hints->size() != pairs.size()) {
+    return Status::InvalidArgument(
+        "diagonal_hints must match pairs in size");
+  }
   // std::vector<bool> is not safe for concurrent element writes; stage
   // into bytes.
   std::vector<uint8_t> verdicts(pairs.size(), 0);
   GENALG_RETURN_IF_ERROR(ParallelIndexed(
       pool, pairs.size(), [&](size_t i) -> Status {
+        thread_local AlignScratch scratch;
+        const std::string a = pairs[i].first->ToString();
+        const std::string b = pairs[i].second->ToString();
+        const int64_t hint = diagonal_hints != nullptr
+                                 ? (*diagonal_hints)[i]
+                                 : kNoDiagonalHint;
         GENALG_ASSIGN_OR_RETURN(
-            bool similar, Resembles(*pairs[i].first, *pairs[i].second,
-                                    min_identity, min_overlap));
-        verdicts[i] = similar ? 1 : 0;
+            ResemblesOutcome out,
+            ResemblesScreened(a, b, min_identity, min_overlap, hint,
+                              &scratch));
+        verdicts[i] = out.hit ? 1 : 0;
         return Status::OK();
       }));
   return std::vector<bool>(verdicts.begin(), verdicts.end());
 }
 
+Result<std::vector<SimilarityVerdict>> BatchSimilarity(
+    const seq::NucleotideSequence& query,
+    const std::vector<const seq::NucleotideSequence*>& targets,
+    double min_identity, size_t min_overlap, ThreadPool* pool,
+    const std::vector<int64_t>* diagonal_hints) {
+  if (diagonal_hints != nullptr &&
+      diagonal_hints->size() != targets.size()) {
+    return Status::InvalidArgument(
+        "diagonal_hints must match targets in size");
+  }
+  const std::string query_chars = query.ToString();
+  std::vector<SimilarityVerdict> verdicts(targets.size());
+  GENALG_RETURN_IF_ERROR(ParallelIndexed(
+      pool, targets.size(), [&](size_t i) -> Status {
+        thread_local AlignScratch scratch;
+        const std::string target_chars = targets[i]->ToString();
+        const int64_t hint = diagonal_hints != nullptr
+                                 ? (*diagonal_hints)[i]
+                                 : kNoDiagonalHint;
+        GENALG_ASSIGN_OR_RETURN(
+            ResemblesOutcome out,
+            ResemblesScreened(query_chars, target_chars, min_identity,
+                              min_overlap, hint, &scratch));
+        verdicts[i] = SimilarityVerdict{out.hit, out.identity, out.score};
+        return Status::OK();
+      }));
+  return verdicts;
+}
+
 Result<bool> Resembles(const seq::NucleotideSequence& a,
                        const seq::NucleotideSequence& b,
-                       double min_identity, size_t min_overlap) {
+                       double min_identity, size_t min_overlap,
+                       int64_t diagonal_hint) {
   if (min_identity < 0.0 || min_identity > 1.0) {
     return Status::InvalidArgument("min_identity must be in [0, 1]");
   }
-  GENALG_ASSIGN_OR_RETURN(Alignment best, LocalAlign(a, b));
-  if (best.Length() < min_overlap) return false;
-  return best.Identity() >= min_identity;
+  AlignScratch scratch;
+  const std::string chars_a = a.ToString();
+  const std::string chars_b = b.ToString();
+  GENALG_ASSIGN_OR_RETURN(
+      ResemblesOutcome out,
+      ResemblesScreened(chars_a, chars_b, min_identity, min_overlap,
+                        diagonal_hint, &scratch));
+  return out.hit;
 }
 
 }  // namespace genalg::align

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "align/kernels.h"
 #include "align/scoring.h"
 #include "base/result.h"
 #include "base/thread_pool.h"
@@ -36,17 +37,24 @@ struct Alignment {
 };
 
 /// Needleman–Wunsch global alignment with affine gaps (Gotoh).
-/// Complexity O(|a|*|b|) time and memory.
+/// Complexity O(|a|*|b|) time and memory. Callers that only need the
+/// score should use GlobalAlignScore (kernels.h): identical result in
+/// O(min(|a|,|b|)) memory. `scratch` (optional) recycles the DP arena
+/// across calls.
 Result<Alignment> GlobalAlign(std::string_view a, std::string_view b,
                               const SubstitutionMatrix& scoring,
-                              const GapPenalties& gaps = GapPenalties());
+                              const GapPenalties& gaps = GapPenalties(),
+                              AlignScratch* scratch = nullptr);
 
 /// Smith–Waterman local alignment with affine gaps. Returns the single
 /// best-scoring local alignment (empty alignment with score 0 when nothing
-/// scores positively).
+/// scores positively). Callers that only need the score should use
+/// LocalAlignScore (kernels.h); `scratch` (optional) recycles the DP
+/// arena across calls.
 Result<Alignment> LocalAlign(std::string_view a, std::string_view b,
                              const SubstitutionMatrix& scoring,
-                             const GapPenalties& gaps = GapPenalties());
+                             const GapPenalties& gaps = GapPenalties(),
+                             AlignScratch* scratch = nullptr);
 
 /// Banded Needleman–Wunsch with linear gap cost `gap` (per gapped column,
 /// negative): only cells with |i - j| <= band are filled, giving
@@ -84,21 +92,58 @@ Result<std::vector<Alignment>> BatchLocalAlign(
 /// Batched `resembles`: evaluates Resembles(a, b) for every (a, b) pair
 /// over `pool`, returning verdicts in pair order (deterministic across
 /// pool sizes). Used by the warehouse integrator's content-matching
-/// stage and the mediator's similarity queries.
+/// stage and the mediator's similarity queries. Each pool worker keeps a
+/// thread-local AlignScratch, so steady-state evaluation allocates no DP
+/// memory. `diagonal_hints` (optional, one entry per pair,
+/// kNoDiagonalHint where unknown) are the dominant seed diagonals from
+/// KmerIndex::FindCandidates; a hinted pair first tries a cheap banded
+/// fill around the hint before deciding whether the full check is needed.
+/// Hints never change a verdict, only the route taken to it.
 Result<std::vector<bool>> BatchResembles(
     const std::vector<std::pair<const seq::NucleotideSequence*,
                                 const seq::NucleotideSequence*>>& pairs,
     double min_identity = 0.8, size_t min_overlap = 16,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr,
+    const std::vector<int64_t>* diagonal_hints = nullptr);
+
+/// One target's outcome from BatchSimilarity: whether it passed the
+/// (min_identity, min_overlap) predicate, and if so the identity and
+/// score of its best local alignment.
+struct SimilarityVerdict {
+  bool hit = false;
+  double identity = 0.0;
+  int64_t score = 0;
+};
+
+/// Batched similarity search: evaluates the `resembles` predicate of
+/// `query` against every target and reports identity + score for the
+/// hits — what Mediator::SimilarTo needs, without materializing gapped
+/// alignment strings for the (typical) majority of targets that miss.
+/// Misses are rejected by the score-only kernels; only hits pay for a
+/// full DP. Semantics of hints, scratch reuse and determinism match
+/// BatchResembles.
+Result<std::vector<SimilarityVerdict>> BatchSimilarity(
+    const seq::NucleotideSequence& query,
+    const std::vector<const seq::NucleotideSequence*>& targets,
+    double min_identity = 0.8, size_t min_overlap = 16,
+    ThreadPool* pool = nullptr,
+    const std::vector<int64_t>* diagonal_hints = nullptr);
 
 /// The paper's `resembles` operator (Sec. 6.3): true iff the best local
 /// alignment of the two sequences covers at least `min_overlap` bases and
 /// reaches at least `min_identity` (fraction in [0, 1]) over the aligned
 /// window. This is the user-defined predicate the Unifying Database
 /// registers for use inside SQL.
+///
+/// Fast path: a score floor derived from (min_identity, min_overlap)
+/// lets the linear-memory kernels prove most negatives without running
+/// the full O(n*m) DP; `diagonal_hint` (a seed diagonal, j - i) lets a
+/// banded fill prove most positives cheap as well. The verdict is
+/// bit-identical to evaluating the full alignment directly.
 Result<bool> Resembles(const seq::NucleotideSequence& a,
                        const seq::NucleotideSequence& b,
-                       double min_identity = 0.8, size_t min_overlap = 16);
+                       double min_identity = 0.8, size_t min_overlap = 16,
+                       int64_t diagonal_hint = kNoDiagonalHint);
 
 }  // namespace genalg::align
 

@@ -75,4 +75,25 @@ int SubstitutionMatrix::Score(char a, char b) const {
   return seq::BasesCompatible(ca, cb) ? match_ : mismatch_;
 }
 
+int SubstitutionMatrix::NumClasses() const {
+  return kind_ == Kind::kMatrix ? 24 : 17;
+}
+
+uint8_t SubstitutionMatrix::ClassOf(char c) const {
+  if (kind_ == Kind::kMatrix) {
+    return static_cast<uint8_t>(BlosumIndex(c));
+  }
+  seq::BaseCode code;
+  if (!seq::CharToBase(c, &code)) return 16;  // The invalid class.
+  return code;  // The 4-bit base set, 0..15.
+}
+
+int SubstitutionMatrix::PairScore(uint8_t ca, uint8_t cb) const {
+  if (kind_ == Kind::kMatrix) {
+    return matrix_[ca * 24 + cb];
+  }
+  if (ca >= 16 || cb >= 16) return mismatch_;
+  return seq::BasesCompatible(ca, cb) ? match_ : mismatch_;
+}
+
 }  // namespace genalg::align

@@ -27,6 +27,20 @@ class SubstitutionMatrix {
   /// Scores one residue pair (case-insensitive).
   int Score(char a, char b) const;
 
+  /// Number of residue classes the matrix distinguishes: two characters in
+  /// the same class score identically against everything. Nucleotide: the
+  /// 16 IUPAC base sets plus one invalid class; BLOSUM: the 24 symbols
+  /// (unknowns collapse onto 'X'). The score-only kernels use the classes
+  /// to precompute a flat lookup profile.
+  int NumClasses() const;
+
+  /// Class code of a residue character, in [0, NumClasses()).
+  uint8_t ClassOf(char c) const;
+
+  /// Score of a class pair: Score(a, b) == PairScore(ClassOf(a), ClassOf(b))
+  /// for every character pair.
+  int PairScore(uint8_t ca, uint8_t cb) const;
+
  private:
   enum class Kind { kNucleotide, kMatrix };
 

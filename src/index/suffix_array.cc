@@ -15,25 +15,69 @@ SuffixArray SuffixArray::Build(std::string text) {
   if (n == 0) return out;
 
   // Prefix doubling: rank[i] is the rank of suffix i by its first k chars.
-  std::vector<uint32_t> rank(n), tmp(n);
+  // Each doubling round is two linear passes — arrange by the second
+  // half-key, then a stable counting sort by the first — so construction
+  // is O(n log n) instead of the O(n log^2 n) of comparator sorting. The
+  // final order is the unique total order of the (pairwise distinct)
+  // suffixes, so sa_ and lcp_ are identical to the comparator build's.
+  std::vector<uint32_t> rank(n), tmp(n), order(n);
+  std::vector<uint32_t> count;
   for (size_t i = 0; i < n; ++i) {
     rank[i] = static_cast<uint8_t>(t[i]);
   }
-  for (size_t k = 1;; k <<= 1) {
-    auto cmp = [&](uint32_t a, uint32_t b) {
-      if (rank[a] != rank[b]) return rank[a] < rank[b];
-      uint32_t ra = a + k < n ? rank[a + k] + 1 : 0;
-      uint32_t rb = b + k < n ? rank[b + k] + 1 : 0;
-      return ra < rb;
-    };
-    std::sort(out.sa_.begin(), out.sa_.end(), cmp);
+  // Recomputes ranks from a sa_ sorted by (rank, rank shifted by k) and
+  // returns the number of distinct classes. Adjacent suffixes get the
+  // same class iff both halves of their keys match.
+  auto rerank = [&](size_t k) -> size_t {
     tmp[out.sa_[0]] = 0;
     for (size_t i = 1; i < n; ++i) {
-      tmp[out.sa_[i]] =
-          tmp[out.sa_[i - 1]] + (cmp(out.sa_[i - 1], out.sa_[i]) ? 1 : 0);
+      const uint32_t a = out.sa_[i - 1];
+      const uint32_t b = out.sa_[i];
+      bool differ = rank[a] != rank[b];
+      if (!differ && k > 0) {
+        const uint32_t ra = a + k < n ? rank[a + k] + 1 : 0;
+        const uint32_t rb = b + k < n ? rank[b + k] + 1 : 0;
+        differ = ra != rb;
+      }
+      tmp[b] = tmp[a] + (differ ? 1 : 0);
     }
     rank.swap(tmp);
-    if (rank[out.sa_[n - 1]] == n - 1) break;
+    return rank[out.sa_[n - 1]] + 1;
+  };
+  // Round 0: counting sort by the leading character.
+  count.assign(257, 0);
+  for (size_t i = 0; i < n; ++i) ++count[rank[i] + 1];
+  for (size_t c = 1; c < count.size(); ++c) count[c] += count[c - 1];
+  for (size_t i = 0; i < n; ++i) {
+    out.sa_[count[rank[i]]++] = static_cast<uint32_t>(i);
+  }
+  size_t classes = rerank(0);
+  for (size_t k = 1; classes < n; k <<= 1) {
+    // Arrange suffixes by the second half-key rank[i + k]: suffixes too
+    // short to have one (i + k >= n) carry the smallest key and go
+    // first; the rest inherit the previous round's order shifted by k.
+    // classes < n guarantees k < n, so n - k is safe.
+    size_t pos = 0;
+    for (size_t i = n - k; i < n; ++i) {
+      order[pos++] = static_cast<uint32_t>(i);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (out.sa_[i] >= k) order[pos++] = out.sa_[i] - static_cast<uint32_t>(k);
+    }
+    // Stable counting sort by the first half-key keeps that arrangement
+    // within each rank class.
+    count.assign(classes + 1, 0);
+    for (size_t i = 0; i < n; ++i) ++count[rank[i]];
+    size_t total = 0;
+    for (size_t c = 0; c <= classes; ++c) {
+      const size_t here = count[c];
+      count[c] = static_cast<uint32_t>(total);
+      total += here;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      out.sa_[count[rank[order[i]]]++] = order[i];
+    }
+    classes = rerank(k);
   }
 
   // Kasai's LCP construction.

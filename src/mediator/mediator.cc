@@ -2,10 +2,20 @@
 
 #include "align/aligner.h"
 #include "gdt/ops.h"
+#include "index/kmer_index.h"
 
 namespace genalg::mediator {
 
 using formats::SequenceRecord;
+
+namespace {
+
+// Seed word length for similarity search: long enough that a shared
+// k-mer is a meaningful diagonal signal, short enough to survive ~80%
+// identity.
+constexpr size_t kSeedKmer = 12;
+
+}  // namespace
 
 Result<std::vector<SequenceRecord>> SourceWrapper::ExtractAll() {
   std::vector<SequenceRecord> out;
@@ -85,22 +95,40 @@ Result<std::vector<Mediator::SimilarityHit>> Mediator::SimilarTo(
   for (SourceWrapper& wrapper : wrappers_) {
     GENALG_ASSIGN_OR_RETURN(std::vector<SequenceRecord> shipped,
                             wrapper.ExtractAll());
-    // Extension fans out over the global pool; hits are collected in
-    // shipping order, so the result is identical to the serial loop.
     std::vector<const seq::NucleotideSequence*> targets;
     targets.reserve(shipped.size());
     for (const SequenceRecord& record : shipped) {
       targets.push_back(&record.sequence);
     }
-    GENALG_ASSIGN_OR_RETURN(std::vector<align::Alignment> alignments,
-                            align::BatchLocalAlign(query, targets));
+    // Seed each shipped sequence against the query so the verifier can
+    // start from a banded fill around the dominant shared-k-mer diagonal.
+    // Hints only steer the kernels — a hit or miss is decided exactly as
+    // if every pair ran the full alignment.
+    std::vector<int64_t> hints(targets.size(), align::kNoDiagonalHint);
+    {
+      std::vector<seq::NucleotideSequence> corpus;
+      corpus.reserve(shipped.size());
+      for (const SequenceRecord& record : shipped) {
+        corpus.push_back(record.sequence);
+      }
+      GENALG_ASSIGN_OR_RETURN(index::KmerIndex seeds,
+                              index::KmerIndex::Build(corpus, kSeedKmer));
+      for (const index::KmerIndex::Candidate& candidate :
+           seeds.FindCandidates(query)) {
+        hints[candidate.doc] = candidate.best_diagonal;
+      }
+    }
+    // Verification fans out over the global pool; hits are collected in
+    // shipping order, so the result is identical to the serial loop.
+    GENALG_ASSIGN_OR_RETURN(
+        std::vector<align::SimilarityVerdict> verdicts,
+        align::BatchSimilarity(query, targets, min_identity, min_overlap,
+                               /*pool=*/nullptr, &hints));
     for (size_t i = 0; i < shipped.size(); ++i) {
-      const align::Alignment& alignment = alignments[i];
-      if (alignment.Length() < min_overlap) continue;
-      double identity = alignment.Identity();
-      if (identity < min_identity) continue;
-      hits.push_back(SimilarityHit{std::move(shipped[i]), identity,
-                                   alignment.score});
+      if (!verdicts[i].hit) continue;
+      hits.push_back(SimilarityHit{std::move(shipped[i]),
+                                   verdicts[i].identity,
+                                   verdicts[i].score});
     }
   }
   std::sort(hits.begin(), hits.end(),

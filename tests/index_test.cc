@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
@@ -88,6 +89,32 @@ TEST(SuffixArrayTest, SuffixOrderIsCorrectProperty) {
       ++common;
     }
     EXPECT_EQ(sa.lcp()[r], common);
+  }
+}
+
+TEST(SuffixArrayTest, RadixBuildMatchesNaiveSort) {
+  // Texts chosen to stress the doubling rounds: runs, period-2 repeats,
+  // tiny alphabets, and a sentinel-free random tail.
+  Rng rng(101);
+  std::vector<std::string> texts = {
+      "",
+      "a",
+      "aaaaaaaaaaaaaaaa",
+      "abababababababab",
+      "mississippi",
+      std::string(100, 'A') + "C" + std::string(100, 'A'),
+      rng.RandomString(257, "AC"),
+      rng.RandomDna(400),
+  };
+  for (const std::string& text : texts) {
+    auto sa = SuffixArray::Build(text);
+    std::vector<uint32_t> naive(text.size());
+    std::iota(naive.begin(), naive.end(), 0);
+    std::sort(naive.begin(), naive.end(), [&](uint32_t a, uint32_t b) {
+      return std::string_view(text).substr(a) <
+             std::string_view(text).substr(b);
+    });
+    EXPECT_EQ(sa.sa(), naive) << "text=" << text.substr(0, 32);
   }
 }
 
