@@ -1,0 +1,232 @@
+// Durability tax: warehouse load throughput with the write-ahead log
+// off, on (one fsync per commit), and on with group commit batching
+// fsyncs across commits. The workload is the ETL hot path — LoadBatch
+// cycles against a file-backed Database, each batch one transaction —
+// so the numbers answer "what does crash safety cost a refresh cycle?".
+// Writes BENCH_wal_overhead.json to the repo root.
+//
+// Every timed run reloads into a fresh database file; the row count is
+// verified after each run so a mode that silently dropped work would
+// abort instead of reporting a throughput.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/signature.h"
+#include "base/rng.h"
+#include "etl/warehouse.h"
+#include "formats/record.h"
+#include "seq/nucleotide_sequence.h"
+#include "udb/adapter.h"
+#include "udb/database.h"
+#include "udb/storage.h"
+#include "udb/wal.h"
+
+namespace genalg::bench {
+namespace {
+
+constexpr size_t kBatches = 48;
+constexpr size_t kRecordsPerBatch = 4;
+constexpr size_t kSequenceLength = 200;
+constexpr size_t kGroupCommitSize = 8;
+constexpr int kRepeats = 3;
+
+enum class WalMode { kOff, kFsyncPerCommit, kGroupCommit };
+
+const char* ModeName(WalMode mode) {
+  switch (mode) {
+    case WalMode::kOff: return "wal_off";
+    case WalMode::kFsyncPerCommit: return "wal_fsync_per_commit";
+    case WalMode::kGroupCommit: return "wal_group_commit";
+  }
+  return "?";
+}
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// One batch per refresh cycle, mirroring what EtlPipeline::RunOnce feeds
+// the warehouse. Pre-generated once so record synthesis stays out of the
+// timed region.
+std::vector<std::vector<formats::SequenceRecord>> MakeBatches() {
+  Rng rng(20260807);
+  std::vector<std::vector<formats::SequenceRecord>> batches(kBatches);
+  int serial = 0;
+  for (auto& batch : batches) {
+    batch.reserve(kRecordsPerBatch);
+    for (size_t r = 0; r < kRecordsPerBatch; ++r) {
+      formats::SequenceRecord rec;
+      char accession[16];
+      std::snprintf(accession, sizeof(accession), "WAL%05d", serial++);
+      rec.accession = accession;
+      rec.source_db = "BENCH";
+      rec.organism = "Synthetica exempli";
+      rec.sequence =
+          seq::NucleotideSequence::Dna(rng.RandomDna(kSequenceLength))
+              .value();
+      batch.push_back(std::move(rec));
+    }
+  }
+  return batches;
+}
+
+struct ModeResult {
+  WalMode mode = WalMode::kOff;
+  double median_ms = 0;
+  double records_per_sec = 0;
+  size_t commits = 0;
+  size_t fsyncs_per_run = 0;  // Commit-path WAL fsyncs (analytic).
+};
+
+double RunOnce(const udb::Adapter* adapter, WalMode mode,
+               const std::vector<std::vector<formats::SequenceRecord>>&
+                   batches,
+               const std::string& db_path, const std::string& wal_path) {
+  std::remove(db_path.c_str());
+  std::remove(wal_path.c_str());
+  auto disk = udb::FileDiskManager::Open(db_path);
+  if (!disk.ok()) std::abort();
+  udb::Database db(adapter, std::move(*disk));
+  if (mode != WalMode::kOff) {
+    auto wal_file = udb::FileWalFile::Open(wal_path);
+    if (!wal_file.ok()) std::abort();
+    if (!db.EnableWal(std::move(*wal_file)).ok()) std::abort();
+    if (mode == WalMode::kGroupCommit) {
+      db.wal()->set_group_commit_size(kGroupCommitSize);
+    }
+  }
+  etl::Warehouse warehouse(&db);
+  if (!warehouse.InitSchema().ok()) std::abort();
+
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& batch : batches) {
+    if (!warehouse.LoadBatch(batch).ok()) std::abort();
+  }
+  auto stop = std::chrono::steady_clock::now();
+
+  auto count = db.Execute("SELECT count(*) FROM sequences");
+  if (!count.ok() || count->rows.size() != 1 ||
+      count->rows[0][0].AsInt().value() !=
+          static_cast<int64_t>(kBatches * kRecordsPerBatch)) {
+    std::abort();
+  }
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+ModeResult RunMode(const udb::Adapter* adapter, WalMode mode,
+                   const std::vector<std::vector<formats::SequenceRecord>>&
+                       batches,
+                   const std::string& scratch_dir) {
+  const std::string db_path =
+      scratch_dir + "/wal_bench_" + ModeName(mode) + ".db";
+  const std::string wal_path = db_path + ".wal";
+  std::vector<double> samples;
+  samples.reserve(kRepeats);
+  for (int r = 0; r < kRepeats; ++r) {
+    samples.push_back(RunOnce(adapter, mode, batches, db_path, wal_path));
+  }
+  std::remove(db_path.c_str());
+  std::remove(wal_path.c_str());
+
+  ModeResult out;
+  out.mode = mode;
+  out.median_ms = MedianMs(std::move(samples));
+  // InitSchema commits once per CREATE statement outside the timed
+  // region; timed commits are exactly one per batch.
+  out.commits = kBatches;
+  switch (mode) {
+    case WalMode::kOff:
+      out.fsyncs_per_run = 0;
+      break;
+    case WalMode::kFsyncPerCommit:
+      out.fsyncs_per_run = kBatches;
+      break;
+    case WalMode::kGroupCommit:
+      out.fsyncs_per_run = kBatches / kGroupCommitSize;
+      break;
+  }
+  out.records_per_sec = static_cast<double>(kBatches * kRecordsPerBatch) /
+                        (out.median_ms / 1000.0);
+  return out;
+}
+
+}  // namespace
+}  // namespace genalg::bench
+
+int main(int argc, char** argv) {
+  using namespace genalg::bench;
+
+#ifndef GENALG_REPO_ROOT
+#define GENALG_REPO_ROOT "."
+#endif
+  std::string out_path = argc > 1
+                             ? argv[1]
+                             : std::string(GENALG_REPO_ROOT) +
+                                   "/BENCH_wal_overhead.json";
+  const char* tmp = std::getenv("TMPDIR");
+  std::string scratch_dir = tmp != nullptr ? tmp : "/tmp";
+
+  genalg::algebra::SignatureRegistry registry;
+  if (!genalg::algebra::RegisterStandardAlgebra(&registry).ok()) {
+    return 1;
+  }
+  genalg::udb::Adapter adapter(&registry);
+  if (!genalg::udb::RegisterStandardUdts(&adapter).ok()) return 1;
+
+  const auto batches = MakeBatches();
+
+  // Untimed warmup: touches the page cache and the allocator once.
+  RunOnce(&adapter, WalMode::kOff, batches, scratch_dir + "/wal_warmup.db",
+          scratch_dir + "/wal_warmup.db.wal");
+  std::remove((scratch_dir + "/wal_warmup.db").c_str());
+  std::remove((scratch_dir + "/wal_warmup.db.wal").c_str());
+
+  const WalMode kModes[] = {WalMode::kOff, WalMode::kFsyncPerCommit,
+                            WalMode::kGroupCommit};
+  ModeResult results[3];
+  for (size_t i = 0; i < 3; ++i) {
+    results[i] = RunMode(&adapter, kModes[i], batches, scratch_dir);
+    std::printf("%-22s %7.2f ms  %8.0f records/s  (%zu commits, "
+                "%zu fsyncs)\n",
+                ModeName(results[i].mode), results[i].median_ms,
+                results[i].records_per_sec, results[i].commits,
+                results[i].fsyncs_per_run);
+  }
+  const double base = results[0].median_ms;
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"wal_overhead\",\n");
+  std::fprintf(out,
+               "  \"setup\": {\"batches\": %zu, \"records_per_batch\": %zu, "
+               "\"sequence_length\": %zu, \"group_commit_size\": %zu, "
+               "\"repeats\": %d, \"store\": \"file-backed (fsync on "
+               "commit)\"},\n",
+               kBatches, kRecordsPerBatch, kSequenceLength, kGroupCommitSize,
+               kRepeats);
+  std::fprintf(out, "  \"modes\": [\n");
+  for (size_t i = 0; i < 3; ++i) {
+    const ModeResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"mode\": \"%s\", \"median_ms\": %.3f, "
+                 "\"records_per_sec\": %.1f, \"commits\": %zu, "
+                 "\"wal_fsyncs\": %zu, \"overhead_vs_wal_off\": %.3f}%s\n",
+                 ModeName(r.mode), r.median_ms, r.records_per_sec,
+                 r.commits, r.fsyncs_per_run, r.median_ms / base,
+                 i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

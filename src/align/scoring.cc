@@ -57,11 +57,11 @@ SubstitutionMatrix SubstitutionMatrix::Nucleotide(int match, int mismatch) {
 }
 
 const SubstitutionMatrix& SubstitutionMatrix::Blosum62() {
-  static const SubstitutionMatrix& instance = [] {
-    auto* m = new SubstitutionMatrix();
-    m->kind_ = Kind::kMatrix;
-    m->matrix_ = kBlosum62;
-    return *m;
+  static const SubstitutionMatrix instance = [] {
+    SubstitutionMatrix m;
+    m.kind_ = Kind::kMatrix;
+    m.matrix_ = kBlosum62;
+    return m;
   }();
   return instance;
 }

@@ -64,6 +64,27 @@ struct BqlQuery {
   std::string Compile() const;
 };
 
+/// Structural equality, used by the render/re-parse round-trip property
+/// tests: two queries are equal iff every field (including bounds, bit
+/// for bit on the values) matches.
+inline bool operator==(const BqlQuery::Bound& a, const BqlQuery::Bound& b) {
+  return a.above == b.above && a.value == b.value;
+}
+inline bool operator!=(const BqlQuery::Bound& a, const BqlQuery::Bound& b) {
+  return !(a == b);
+}
+inline bool operator==(const BqlQuery& a, const BqlQuery& b) {
+  return a.action == b.action && a.target == b.target &&
+         a.metric == b.metric && a.organism == b.organism &&
+         a.containing == b.containing && a.resembling == b.resembling &&
+         a.accession == b.accession && a.gc_bound == b.gc_bound &&
+         a.length_bound == b.length_bound &&
+         a.confidence_bound == b.confidence_bound && a.limit == b.limit;
+}
+inline bool operator!=(const BqlQuery& a, const BqlQuery& b) {
+  return !(a == b);
+}
+
 /// Parses one biologist query.
 Result<BqlQuery> ParseBql(std::string_view text);
 

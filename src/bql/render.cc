@@ -2,8 +2,65 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 namespace genalg::bql {
+
+namespace {
+
+// Shortest decimal form that strtod maps back to the same double, so a
+// rendered bound re-parses bit-identically.
+std::string RenderNumber(double value) {
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+void RenderBound(const char* what, const std::optional<BqlQuery::Bound>& b,
+                 std::string* out) {
+  if (!b.has_value()) return;
+  *out += std::string(" with ") + what + (b->above ? " above " : " below ") +
+          RenderNumber(b->value);
+}
+
+}  // namespace
+
+std::string RenderBql(const BqlQuery& query) {
+  std::string out;
+  switch (query.action) {
+    case BqlQuery::Action::kFind:
+      out = "find";
+      break;
+    case BqlQuery::Action::kCount:
+      out = "count";
+      break;
+    case BqlQuery::Action::kShow: {
+      const char* metric = "gc";
+      switch (query.metric) {
+        case BqlQuery::Metric::kGc: metric = "gc"; break;
+        case BqlQuery::Metric::kLength: metric = "length"; break;
+        case BqlQuery::Metric::kConfidence: metric = "confidence"; break;
+        case BqlQuery::Metric::kOrganism: metric = "organism"; break;
+      }
+      out = std::string("show ") + metric + " of";
+      break;
+    }
+  }
+  out += query.target == BqlQuery::Target::kSequences ? " sequences"
+                                                      : " features";
+  if (query.organism) out += " from \"" + *query.organism + "\"";
+  if (query.containing) out += " containing " + *query.containing;
+  if (query.resembling) out += " resembling " + *query.resembling;
+  if (query.accession) out += " of " + *query.accession;
+  RenderBound("gc", query.gc_bound, &out);
+  RenderBound("length", query.length_bound, &out);
+  RenderBound("confidence", query.confidence_bound, &out);
+  if (query.limit >= 0) out += " first " + std::to_string(query.limit);
+  return out;
+}
 
 std::string RenderFeatureMap(uint64_t sequence_length,
                              const std::vector<gdt::Feature>& features,

@@ -7,9 +7,18 @@
 #include <vector>
 
 #include "align/aligner.h"
+#include "bql/bql.h"
 #include "gdt/feature.h"
 
 namespace genalg::bql {
+
+/// Renders a parsed query back to canonical BQL text. The output is
+/// grammatically valid and semantically identical to the input:
+/// ParseBql(RenderBql(q)) == q for every parseable q (the round-trip
+/// property the tests enforce). Canonical form: lower-case keywords,
+/// clauses in grammar order, organisms always quoted, numbers printed
+/// with enough digits to round-trip exactly.
+std::string RenderBql(const BqlQuery& query);
 
 /// The graphical output description facility of Sec. 6.4 ("a graphical
 /// output description language whose commands can be combined with

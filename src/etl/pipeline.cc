@@ -46,12 +46,22 @@ Status EtlPipeline::InitialLoad() {
 
 Result<EtlPipeline::RoundStats> EtlPipeline::RunOnce() {
   RoundStats stats;
+  // Drain the monitors into the retry buffer first: Poll() is
+  // irreversible, so deltas a crashed round failed to apply must survive
+  // for the next round.
   for (auto& monitor : monitors_) {
     GENALG_ASSIGN_OR_RETURN(std::vector<Delta> deltas, monitor->Poll());
     stats.deltas_detected += deltas.size();
-    GENALG_RETURN_IF_ERROR(warehouse_->ApplyDeltas(deltas));
-    stats.deltas_applied += deltas.size();
+    for (Delta& delta : deltas) pending_.push_back(std::move(delta));
   }
+  // The whole maintenance round is one transaction: either every pending
+  // delta lands or the warehouse (database + staging image) stays at the
+  // previous consistent snapshot and the deltas remain pending.
+  GENALG_RETURN_IF_ERROR(warehouse_->RunInTransaction([&]() -> Status {
+    return warehouse_->ApplyDeltas(pending_);
+  }));
+  stats.deltas_applied = pending_.size();
+  pending_.clear();
   return stats;
 }
 

@@ -36,10 +36,13 @@ class EtlPipeline {
   Status InitialLoad();
 
   /// One maintenance round: polls every monitor and applies the detected
-  /// deltas incrementally.
+  /// deltas incrementally. When the database has a write-ahead log, the
+  /// whole round runs as one transaction; on failure (e.g. a dying disk)
+  /// the warehouse keeps its previous consistent snapshot and the
+  /// unapplied deltas stay buffered, so a later RunOnce converges.
   struct RoundStats {
-    size_t deltas_detected = 0;
-    size_t deltas_applied = 0;
+    size_t deltas_detected = 0;  ///< Newly polled this round.
+    size_t deltas_applied = 0;   ///< Applied (including retried) deltas.
   };
   Result<RoundStats> RunOnce();
 
@@ -59,6 +62,7 @@ class EtlPipeline {
   ThreadPool* pool_;
   std::vector<SyntheticSource*> sources_;
   std::vector<std::unique_ptr<SourceMonitor>> monitors_;
+  std::vector<Delta> pending_;  ///< Polled but not yet durably applied.
 };
 
 }  // namespace genalg::etl

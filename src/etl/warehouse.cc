@@ -21,7 +21,31 @@ Warehouse::Warehouse(udb::Database* db, Integrator::Options options)
         return o;
       }()) {}
 
+Status Warehouse::RunInTransaction(const std::function<Status()>& body) {
+  if (!db_->wal_enabled() || db_->in_transaction()) return body();
+  // The staging image lives outside the database; snapshot it so a
+  // rolled-back cycle also rewinds which source contributes what.
+  auto staging_snapshot = staging_;
+  uint64_t rows_snapshot = rows_written_;
+  GENALG_RETURN_IF_ERROR(db_->Begin());
+  Status result = body();
+  if (result.ok()) {
+    result = db_->Commit();
+    if (result.ok()) return Status::OK();
+    // Commit already rolled the database back.
+  } else if (db_->in_transaction()) {
+    (void)db_->Abort();
+  }
+  staging_ = std::move(staging_snapshot);
+  rows_written_ = rows_snapshot;
+  return result;
+}
+
 Status Warehouse::InitSchema() {
+  return RunInTransaction([&]() -> Status { return InitSchemaImpl(); });
+}
+
+Status Warehouse::InitSchemaImpl() {
   GENALG_RETURN_IF_ERROR(db_->CreateTable(
       "sequences",
       {{"accession", ColumnType::String()},
@@ -108,6 +132,12 @@ Status Warehouse::WriteEntry(const ReconciledEntry& entry) {
 }
 
 Status Warehouse::LoadBatch(std::vector<SequenceRecord> records) {
+  return RunInTransaction([this, &records]() -> Status {
+    return LoadBatchImpl(std::move(records));
+  });
+}
+
+Status Warehouse::LoadBatchImpl(std::vector<SequenceRecord> records) {
   // Track staging per (accession, source).
   for (const SequenceRecord& r : records) {
     staging_[r.accession][r.source_db] = r;
@@ -139,6 +169,11 @@ Status Warehouse::RefreshAccession(const std::string& accession) {
 }
 
 Status Warehouse::ApplyDelta(const Delta& delta) {
+  return RunInTransaction(
+      [this, &delta]() -> Status { return ApplyDeltaImpl(delta); });
+}
+
+Status Warehouse::ApplyDeltaImpl(const Delta& delta) {
   switch (delta.kind) {
     case Delta::Kind::kInsert:
     case Delta::Kind::kUpdate:
@@ -161,13 +196,21 @@ Status Warehouse::ApplyDelta(const Delta& delta) {
 }
 
 Status Warehouse::ApplyDeltas(const std::vector<Delta>& deltas) {
-  for (const Delta& delta : deltas) {
-    GENALG_RETURN_IF_ERROR(ApplyDelta(delta));
-  }
-  return Status::OK();
+  return RunInTransaction([this, &deltas]() -> Status {
+    for (const Delta& delta : deltas) {
+      GENALG_RETURN_IF_ERROR(ApplyDeltaImpl(delta));
+    }
+    return Status::OK();
+  });
 }
 
 Status Warehouse::FullReload(std::vector<SequenceRecord> all_records) {
+  return RunInTransaction([this, &all_records]() -> Status {
+    return FullReloadImpl(std::move(all_records));
+  });
+}
+
+Status Warehouse::FullReloadImpl(std::vector<SequenceRecord> all_records) {
   // Wipe everything, then load the fresh extract. Derived tables (the
   // proteins of DeriveProteins) are wiped too when present: they describe
   // content that no longer exists.
@@ -242,6 +285,15 @@ Status Warehouse::ImportGenAlgXml(const std::string& xml) {
 }
 
 Result<int64_t> Warehouse::DeriveProteins(int codon_table_id) {
+  int64_t derived = 0;
+  GENALG_RETURN_IF_ERROR(RunInTransaction([&]() -> Status {
+    GENALG_ASSIGN_OR_RETURN(derived, DeriveProteinsImpl(codon_table_id));
+    return Status::OK();
+  }));
+  return derived;
+}
+
+Result<int64_t> Warehouse::DeriveProteinsImpl(int codon_table_id) {
   // Schema evolution: add the table on first use.
   Status created = db_->CreateTable(
       "proteins",

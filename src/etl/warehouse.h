@@ -1,6 +1,7 @@
 #ifndef GENALG_ETL_WAREHOUSE_H_
 #define GENALG_ETL_WAREHOUSE_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -78,6 +79,16 @@ class Warehouse {
   ///            confidence REAL, pseq PROTSEQ)
   Result<int64_t> DeriveProteins(int codon_table_id = 11);
 
+  /// Runs `body` as one database transaction when the database has a
+  /// write-ahead log attached: on failure both the database AND the
+  /// warehouse's staging image roll back to the pre-call state, so a
+  /// crashed or failed refresh cycle leaves the previous consistent
+  /// snapshot. Without a WAL (or inside an enclosing transaction) the
+  /// body just runs. Every mutating Warehouse entry point already wraps
+  /// itself in this; the pipeline uses it to make a whole maintenance
+  /// round (several delta batches) atomic.
+  Status RunInTransaction(const std::function<Status()>& body);
+
   /// Rows written (inserted or replaced) since construction — the
   /// maintenance-cost metric.
   uint64_t rows_written() const { return rows_written_; }
@@ -85,6 +96,13 @@ class Warehouse {
   udb::Database* db() { return db_; }
 
  private:
+  // Transaction-unwrapped bodies of the public entry points above.
+  Status InitSchemaImpl();
+  Status LoadBatchImpl(std::vector<formats::SequenceRecord> records);
+  Status ApplyDeltaImpl(const Delta& delta);
+  Status FullReloadImpl(std::vector<formats::SequenceRecord> all_records);
+  Result<int64_t> DeriveProteinsImpl(int codon_table_id);
+
   // Rewrites the warehouse rows of one accession from the staging image
   // (or deletes them when no source contributes it anymore).
   Status RefreshAccession(const std::string& accession);

@@ -79,7 +79,9 @@ Result<std::vector<SequenceRecord>> ParseEmbl(std::string_view text) {
       }
       in_record = true;
       // ID   SYN000042; SV 2; linear; DNA; SYNDB; 1234 BP.
-      auto parts = Split(stripped.substr(5), ';');
+      // Slice the raw line: `stripped` may be shorter than the "ID   "
+      // prefix when the line is only whitespace past the code.
+      auto parts = Split(StripWhitespace(std::string_view(raw).substr(5)), ';');
       if (parts.empty()) {
         return Status::Corruption("malformed ID line " +
                                   std::to_string(line_no));

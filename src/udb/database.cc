@@ -115,6 +115,15 @@ Result<const Database::TableData*> Database::GetTable(
 Status Database::CreateTable(const std::string& name,
                              std::vector<ColumnInfo> columns, Space space,
                              bool privileged) {
+  GENALG_ASSIGN_OR_RETURN(bool implicit, MaybeBeginImplicit());
+  return EndImplicit(implicit,
+                     CreateTableImpl(name, std::move(columns), space,
+                                     privileged));
+}
+
+Status Database::CreateTableImpl(const std::string& name,
+                                 std::vector<ColumnInfo> columns, Space space,
+                                 bool privileged) {
   if (space == Space::kPublic && !privileged) {
     return Status::FailedPrecondition(
         "only the warehouse maintenance path may create public tables");
@@ -147,13 +156,17 @@ Status Database::CreateTable(const std::string& name,
 }
 
 Status Database::DropTable(const std::string& name, bool privileged) {
-  GENALG_ASSIGN_OR_RETURN(TableData * table, GetTable(name));
-  if (table->schema.space == Space::kPublic && !privileged) {
-    return Status::FailedPrecondition("cannot drop public table '" + name +
-                                      "'");
-  }
-  tables_.erase(name);
-  return Status::OK();
+  GENALG_ASSIGN_OR_RETURN(bool implicit, MaybeBeginImplicit());
+  Status dropped = [&]() -> Status {
+    GENALG_ASSIGN_OR_RETURN(TableData * table, GetTable(name));
+    if (table->schema.space == Space::kPublic && !privileged) {
+      return Status::FailedPrecondition("cannot drop public table '" + name +
+                                        "'");
+    }
+    tables_.erase(name);
+    return Status::OK();
+  }();
+  return EndImplicit(implicit, dropped);
 }
 
 Result<const TableSchema*> Database::GetSchema(std::string_view table) const {
@@ -219,6 +232,13 @@ Status Database::MaintainIndexesOnDelete(TableData* table, const Row& row,
 
 Status Database::InsertRow(const std::string& table_name, Row row,
                            bool privileged) {
+  GENALG_ASSIGN_OR_RETURN(bool implicit, MaybeBeginImplicit());
+  return EndImplicit(implicit,
+                     InsertRowImpl(table_name, std::move(row), privileged));
+}
+
+Status Database::InsertRowImpl(const std::string& table_name, Row row,
+                               bool privileged) {
   GENALG_ASSIGN_OR_RETURN(TableData * table, GetTable(table_name));
   if (table->schema.space == Space::kPublic && !privileged) {
     return Status::FailedPrecondition(
@@ -265,6 +285,12 @@ Result<std::vector<Row>> Database::ScanTable(
 
 Status Database::CreateBTreeIndex(const std::string& table_name,
                                   const std::string& column) {
+  GENALG_ASSIGN_OR_RETURN(bool implicit, MaybeBeginImplicit());
+  return EndImplicit(implicit, CreateBTreeIndexImpl(table_name, column));
+}
+
+Status Database::CreateBTreeIndexImpl(const std::string& table_name,
+                                      const std::string& column) {
   GENALG_ASSIGN_OR_RETURN(TableData * table, GetTable(table_name));
   for (const auto& existing : table->btrees) {
     if (existing->column == column) {
@@ -292,6 +318,12 @@ Status Database::CreateBTreeIndex(const std::string& table_name,
 
 Status Database::CreateKmerIndex(const std::string& table_name,
                                  const std::string& column, size_t k) {
+  GENALG_ASSIGN_OR_RETURN(bool implicit, MaybeBeginImplicit());
+  return EndImplicit(implicit, CreateKmerIndexImpl(table_name, column, k));
+}
+
+Status Database::CreateKmerIndexImpl(const std::string& table_name,
+                                     const std::string& column, size_t k) {
   if (k < 4 || k > 31) {
     return Status::InvalidArgument("k must be in [4, 31]");
   }
@@ -1187,7 +1219,14 @@ Result<QueryResult> Database::Execute(std::string_view sql,
   last_rows_scanned_ = 0;
   GENALG_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
   Executor executor(this, privileged);
-  return executor.Run(stmt);
+  if (std::holds_alternative<SelectStmt>(stmt)) {
+    return executor.Run(stmt);  // Read-only: no transaction needed.
+  }
+  GENALG_ASSIGN_OR_RETURN(bool implicit, MaybeBeginImplicit());
+  Result<QueryResult> result = executor.Run(stmt);
+  Status ended = EndImplicit(implicit, result.status());
+  GENALG_RETURN_IF_ERROR(ended);
+  return result;
 }
 
 namespace {
@@ -1196,8 +1235,7 @@ constexpr uint32_t kCatalogMagic = 0x47414C43;  // "GALC".
 
 }  // namespace
 
-Status Database::SaveCatalog(const std::string& catalog_path) {
-  GENALG_RETURN_IF_ERROR(pool_->FlushAll());
+std::vector<uint8_t> Database::SerializeCatalog() const {
   BytesWriter w;
   w.PutU32(kCatalogMagic);
   w.PutVarint(tables_.size());
@@ -1219,14 +1257,84 @@ Status Database::SaveCatalog(const std::string& catalog_path) {
       w.PutVarint(kmer->k);
     }
   }
-  std::FILE* file = std::fopen(catalog_path.c_str(), "wb");
+  return w.Release();
+}
+
+Status Database::LoadCatalogBlob(const std::vector<uint8_t>& blob) {
+  tables_.clear();
+  restoring_catalog_ = true;
+  Status result = [&]() -> Status {
+    BytesReader r(blob);
+    GENALG_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+    if (magic != kCatalogMagic) {
+      return Status::Corruption("not a GenAlg catalog");
+    }
+    GENALG_ASSIGN_OR_RETURN(uint64_t table_count, r.GetVarint());
+    for (uint64_t t = 0; t < table_count; ++t) {
+      auto data = std::make_unique<TableData>();
+      GENALG_ASSIGN_OR_RETURN(data->schema.name, r.GetString());
+      GENALG_ASSIGN_OR_RETURN(uint8_t space, r.GetU8());
+      data->schema.space = space == 1 ? Space::kPublic : Space::kUser;
+      GENALG_ASSIGN_OR_RETURN(uint64_t column_count, r.GetVarint());
+      for (uint64_t c = 0; c < column_count; ++c) {
+        ColumnInfo col;
+        GENALG_ASSIGN_OR_RETURN(col.name, r.GetString());
+        GENALG_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+        if (kind > static_cast<uint8_t>(DatumKind::kUdt)) {
+          return Status::Corruption("invalid column kind in catalog");
+        }
+        col.type.kind = static_cast<DatumKind>(kind);
+        GENALG_ASSIGN_OR_RETURN(col.type.udt_name, r.GetString());
+        if (col.type.kind == DatumKind::kUdt &&
+            !adapter_->HasUdt(col.type.udt_name)) {
+          return Status::NotFound("catalog references unregistered UDT '" +
+                                  col.type.udt_name + "'");
+        }
+        data->schema.columns.push_back(std::move(col));
+      }
+      GENALG_ASSIGN_OR_RETURN(uint32_t first_page, r.GetU32());
+      GENALG_ASSIGN_OR_RETURN(HeapFile heap,
+                              HeapFile::Attach(pool_.get(), first_page));
+      data->heap = std::make_unique<HeapFile>(std::move(heap));
+      std::string table_name = data->schema.name;
+      tables_.emplace(table_name, std::move(data));
+      // Indexes are rebuilt by backfill over the attached heap.
+      GENALG_ASSIGN_OR_RETURN(uint64_t btree_count, r.GetVarint());
+      for (uint64_t i = 0; i < btree_count; ++i) {
+        GENALG_ASSIGN_OR_RETURN(std::string column, r.GetString());
+        GENALG_RETURN_IF_ERROR(CreateBTreeIndex(table_name, column));
+      }
+      GENALG_ASSIGN_OR_RETURN(uint64_t kmer_count, r.GetVarint());
+      for (uint64_t i = 0; i < kmer_count; ++i) {
+        GENALG_ASSIGN_OR_RETURN(std::string column, r.GetString());
+        GENALG_ASSIGN_OR_RETURN(uint64_t k, r.GetVarint());
+        GENALG_RETURN_IF_ERROR(
+            CreateKmerIndex(table_name, column, static_cast<size_t>(k)));
+      }
+    }
+    return Status::OK();
+  }();
+  restoring_catalog_ = false;
+  return result;
+}
+
+Status Database::SaveCatalog(const std::string& catalog_path) {
+  GENALG_RETURN_IF_ERROR(pool_->FlushAll());
+  std::vector<uint8_t> blob = SerializeCatalog();
+  // Sidecar + rename so a crash mid-save leaves the old catalog intact.
+  std::string sidecar = catalog_path + ".tmp";
+  std::FILE* file = std::fopen(sidecar.c_str(), "wb");
   if (file == nullptr) {
     return Status::IoError("cannot write catalog '" + catalog_path + "'");
   }
-  size_t written = std::fwrite(w.data().data(), 1, w.size(), file);
+  size_t written = std::fwrite(blob.data(), 1, blob.size(), file);
   std::fclose(file);
-  if (written != w.size()) {
+  if (written != blob.size()) {
+    std::remove(sidecar.c_str());
     return Status::IoError("short catalog write");
+  }
+  if (std::rename(sidecar.c_str(), catalog_path.c_str()) != 0) {
+    return Status::IoError("cannot swap catalog into place");
   }
   return Status::OK();
 }
@@ -1248,55 +1356,124 @@ Result<std::unique_ptr<Database>> Database::Attach(
 
   auto db = std::make_unique<Database>(adapter, std::move(disk),
                                        pool_pages);
-  BytesReader r(blob);
-  GENALG_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
-  if (magic != kCatalogMagic) {
-    return Status::Corruption("not a GenAlg catalog file");
-  }
-  GENALG_ASSIGN_OR_RETURN(uint64_t table_count, r.GetVarint());
-  for (uint64_t t = 0; t < table_count; ++t) {
-    auto data = std::make_unique<TableData>();
-    GENALG_ASSIGN_OR_RETURN(data->schema.name, r.GetString());
-    GENALG_ASSIGN_OR_RETURN(uint8_t space, r.GetU8());
-    data->schema.space = space == 1 ? Space::kPublic : Space::kUser;
-    GENALG_ASSIGN_OR_RETURN(uint64_t column_count, r.GetVarint());
-    for (uint64_t c = 0; c < column_count; ++c) {
-      ColumnInfo col;
-      GENALG_ASSIGN_OR_RETURN(col.name, r.GetString());
-      GENALG_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
-      if (kind > static_cast<uint8_t>(DatumKind::kUdt)) {
-        return Status::Corruption("invalid column kind in catalog");
-      }
-      col.type.kind = static_cast<DatumKind>(kind);
-      GENALG_ASSIGN_OR_RETURN(col.type.udt_name, r.GetString());
-      if (col.type.kind == DatumKind::kUdt &&
-          !adapter->HasUdt(col.type.udt_name)) {
-        return Status::NotFound("catalog references unregistered UDT '" +
-                                col.type.udt_name + "'");
-      }
-      data->schema.columns.push_back(std::move(col));
-    }
-    GENALG_ASSIGN_OR_RETURN(uint32_t first_page, r.GetU32());
-    GENALG_ASSIGN_OR_RETURN(HeapFile heap,
-                            HeapFile::Attach(db->pool_.get(), first_page));
-    data->heap = std::make_unique<HeapFile>(std::move(heap));
-    std::string table_name = data->schema.name;
-    db->tables_.emplace(table_name, std::move(data));
-    // Indexes are rebuilt by backfill over the attached heap.
-    GENALG_ASSIGN_OR_RETURN(uint64_t btree_count, r.GetVarint());
-    for (uint64_t i = 0; i < btree_count; ++i) {
-      GENALG_ASSIGN_OR_RETURN(std::string column, r.GetString());
-      GENALG_RETURN_IF_ERROR(db->CreateBTreeIndex(table_name, column));
-    }
-    GENALG_ASSIGN_OR_RETURN(uint64_t kmer_count, r.GetVarint());
-    for (uint64_t i = 0; i < kmer_count; ++i) {
-      GENALG_ASSIGN_OR_RETURN(std::string column, r.GetString());
-      GENALG_ASSIGN_OR_RETURN(uint64_t k, r.GetVarint());
-      GENALG_RETURN_IF_ERROR(
-          db->CreateKmerIndex(table_name, column, static_cast<size_t>(k)));
-    }
-  }
+  GENALG_RETURN_IF_ERROR(db->LoadCatalogBlob(blob));
   return db;
+}
+
+// ------------------------------------------------ Transactions & recovery.
+
+Status Database::EnableWal(std::unique_ptr<WalFile> wal_file) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("a WAL is already attached");
+  }
+  if (in_txn_) {
+    return Status::FailedPrecondition(
+        "cannot attach a WAL inside a transaction");
+  }
+  wal_ = std::make_unique<WriteAheadLog>(std::move(wal_file));
+  return Checkpoint();
+}
+
+Status Database::Begin() {
+  if (in_txn_) {
+    return Status::FailedPrecondition("a transaction is already open");
+  }
+  // Flush committed dirty pages so the on-disk image is exactly the
+  // pre-transaction state — the baseline DiscardTracked rolls back to.
+  GENALG_RETURN_IF_ERROR(pool_->FlushAll());
+  txn_catalog_snapshot_ = SerializeCatalog();
+  GENALG_RETURN_IF_ERROR(pool_->BeginTracking());
+  current_txn_ = next_txn_++;
+  in_txn_ = true;
+  if (wal_ != nullptr) {
+    Status s = wal_->AppendBegin(current_txn_);
+    if (!s.ok()) {
+      (void)Abort();
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  if (!in_txn_) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  if (wal_ != nullptr) {
+    Status logged = [&]() -> Status {
+      for (PageId id : pool_->TrackedDirtyPages()) {
+        GENALG_ASSIGN_OR_RETURN(uint8_t* frame, pool_->FetchPage(id));
+        Status s = wal_->AppendPageImage(current_txn_, id, frame);
+        GENALG_RETURN_IF_ERROR(pool_->UnpinPage(id, /*dirty=*/false));
+        GENALG_RETURN_IF_ERROR(s);
+      }
+      return wal_->AppendCommit(current_txn_, SerializeCatalog());
+    }();
+    if (!logged.ok()) {
+      // The commit record never became durable: roll back so the
+      // in-process state matches what recovery will reconstruct.
+      (void)Abort();
+      return logged;
+    }
+  }
+  pool_->EndTracking();
+  in_txn_ = false;
+  txn_catalog_snapshot_.clear();
+  return Status::OK();
+}
+
+Status Database::Abort() {
+  if (!in_txn_) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  if (wal_ != nullptr) {
+    (void)wal_->AppendAbort(current_txn_);  // Advisory; may fail mid-crash.
+  }
+  in_txn_ = false;
+  GENALG_RETURN_IF_ERROR(pool_->DiscardTracked());
+  Status restored = LoadCatalogBlob(txn_catalog_snapshot_);
+  txn_catalog_snapshot_.clear();
+  return restored;
+}
+
+Status Database::Checkpoint() {
+  if (in_txn_) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint inside a transaction");
+  }
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("no WAL attached");
+  }
+  GENALG_RETURN_IF_ERROR(pool_->FlushAll());
+  GENALG_RETURN_IF_ERROR(disk_->Sync());
+  return wal_->Checkpoint(SerializeCatalog());
+}
+
+Result<std::unique_ptr<Database>> Database::Recover(
+    const Adapter* adapter, std::unique_ptr<DiskManager> disk,
+    std::unique_ptr<WalFile> wal_file, size_t pool_pages) {
+  GENALG_ASSIGN_OR_RETURN(WalReplayStats stats,
+                          WriteAheadLog::Replay(wal_file.get(), disk.get()));
+  auto db = std::make_unique<Database>(adapter, std::move(disk), pool_pages);
+  if (stats.has_catalog) {
+    GENALG_RETURN_IF_ERROR(db->LoadCatalogBlob(stats.catalog));
+  }
+  GENALG_RETURN_IF_ERROR(db->EnableWal(std::move(wal_file)));
+  return db;
+}
+
+Result<bool> Database::MaybeBeginImplicit() {
+  if (wal_ == nullptr || in_txn_ || restoring_catalog_) return false;
+  GENALG_RETURN_IF_ERROR(Begin());
+  return true;
+}
+
+Status Database::EndImplicit(bool began, Status op_status) {
+  if (!began) return op_status;
+  if (!in_txn_) return op_status;  // A nested failure already rolled back.
+  if (op_status.ok()) return Commit();
+  (void)Abort();
+  return op_status;
 }
 
 Result<std::string> Database::Explain(std::string_view sql) {

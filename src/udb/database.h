@@ -13,6 +13,7 @@
 #include "udb/datum.h"
 #include "udb/sql_ast.h"
 #include "udb/storage.h"
+#include "udb/wal.h"
 
 namespace genalg::udb {
 
@@ -116,6 +117,52 @@ class Database {
       const Adapter* adapter, std::unique_ptr<DiskManager> disk,
       const std::string& catalog_path, size_t pool_pages = 512);
 
+  // ------------------------------------ Durability (write-ahead logging).
+
+  /// Attaches a write-ahead log and writes an initial checkpoint. From
+  /// here on every mutation is transactional: explicit Begin/Commit/Abort
+  /// brackets, or an implicit single-statement transaction when none is
+  /// open. FailedPrecondition if a WAL is already attached or a
+  /// transaction is open.
+  Status EnableWal(std::unique_ptr<WalFile> wal_file);
+  bool wal_enabled() const { return wal_ != nullptr; }
+  WriteAheadLog* wal() { return wal_.get(); }
+
+  /// Opens a transaction: committed dirty pages are flushed so the disk
+  /// image is the rollback baseline, the catalog is snapshotted, and the
+  /// buffer pool starts no-steal tracking. Works without a WAL too (the
+  /// transaction is then atomic in-process but not crash-durable).
+  Status Begin();
+
+  /// Appends the images of every page the transaction dirtied plus a
+  /// commit record carrying the catalog, and fsyncs the log; only then
+  /// does it return OK. On any failure the transaction is aborted and the
+  /// original error returned.
+  Status Commit();
+
+  /// Rolls back: tracked frames are discarded (later fetches re-read the
+  /// pre-transaction images from disk) and the catalog — schemas, heap
+  /// roots, index definitions, rebuilt indexes — is restored from the
+  /// Begin snapshot.
+  Status Abort();
+
+  bool in_transaction() const { return in_txn_; }
+
+  /// Flushes every page, fsyncs the database file, then atomically
+  /// truncates the log to a single checkpoint record carrying the
+  /// catalog. FailedPrecondition inside a transaction.
+  Status Checkpoint();
+
+  /// Crash-safe open: replays committed transactions from the log onto
+  /// the disk (recovery is idempotent), reconstructs the database from
+  /// the latest durable catalog (carried by commit/checkpoint records —
+  /// WAL-mode databases need no separate catalog file), attaches the log,
+  /// and writes a fresh checkpoint. An empty disk + empty log yields an
+  /// empty durable database.
+  static Result<std::unique_ptr<Database>> Recover(
+      const Adapter* adapter, std::unique_ptr<DiskManager> disk,
+      std::unique_ptr<WalFile> wal_file, size_t pool_pages = 512);
+
   /// Heap records fetched by the most recent Execute (the benchmark
   /// counter behind the index-vs-scan experiments).
   uint64_t last_rows_scanned() const { return last_rows_scanned_; }
@@ -151,6 +198,18 @@ class Database {
 
   class Executor;
 
+  // Transaction-unwrapped bodies of the public mutators; the public
+  // methods bracket these with an implicit transaction when a WAL is
+  // attached and no explicit one is open.
+  Status CreateTableImpl(const std::string& name,
+                         std::vector<ColumnInfo> columns, Space space,
+                         bool privileged);
+  Status InsertRowImpl(const std::string& table, Row row, bool privileged);
+  Status CreateBTreeIndexImpl(const std::string& table,
+                              const std::string& column);
+  Status CreateKmerIndexImpl(const std::string& table,
+                             const std::string& column, size_t k);
+
   Result<TableData*> GetTable(std::string_view name);
   Result<const TableData*> GetTable(std::string_view name) const;
   Status MaintainIndexesOnInsert(TableData* table, const Row& row,
@@ -158,10 +217,30 @@ class Database {
   Status MaintainIndexesOnDelete(TableData* table, const Row& row,
                                  RecordId rid);
 
+  /// The catalog (schemas, spaces, heap roots, index definitions) as the
+  /// blob stored in catalog files, commit records, and Begin snapshots.
+  std::vector<uint8_t> SerializeCatalog() const;
+
+  /// Rebuilds tables_ from a catalog blob: re-attaches heaps over their
+  /// existing pages and rebuilds secondary indexes by backfill. Existing
+  /// entries are dropped first.
+  Status LoadCatalogBlob(const std::vector<uint8_t>& blob);
+
+  /// Opens an implicit single-statement transaction when a WAL is
+  /// attached and none is open. Returns whether it did.
+  Result<bool> MaybeBeginImplicit();
+  Status EndImplicit(bool began, Status op_status);
+
   const Adapter* adapter_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::map<std::string, std::unique_ptr<TableData>, std::less<>> tables_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  bool in_txn_ = false;
+  bool restoring_catalog_ = false;  // Suppresses implicit transactions.
+  uint64_t next_txn_ = 1;
+  uint64_t current_txn_ = 0;
+  std::vector<uint8_t> txn_catalog_snapshot_;
   uint64_t last_rows_scanned_ = 0;
   bool predicate_reordering_ = true;
 };

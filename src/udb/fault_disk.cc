@@ -1,0 +1,171 @@
+#include "udb/fault_disk.h"
+
+#include <cstring>
+
+namespace genalg::udb {
+
+// ---------------------------------------------------------- SimulatedMedia.
+
+void SimulatedMedia::ArmFault(FaultMode mode, uint64_t fault_at) {
+  mode_ = mode;
+  fault_at_ = fault_at;
+  write_count_ = 0;
+  dead_ = false;
+}
+
+void SimulatedMedia::Crash() {
+  current_pages_ = durable_pages_;
+  current_wal_ = durable_wal_;
+  mode_ = FaultMode::kNone;
+  dead_ = false;
+}
+
+std::vector<uint8_t> SimulatedMedia::DurablePage(PageId id) const {
+  if (id < durable_pages_.size()) return durable_pages_[id];
+  return std::vector<uint8_t>(kPageSize, 0);
+}
+
+SimulatedMedia::WriteOutcome SimulatedMedia::OnWrite() {
+  if (dead_) return WriteOutcome::kFail;
+  uint64_t index = write_count_++;
+  if (index == fault_at_) {
+    switch (mode_) {
+      case FaultMode::kKill:
+        dead_ = true;
+        return WriteOutcome::kFail;
+      case FaultMode::kTorn:
+        dead_ = true;
+        return WriteOutcome::kTorn;
+      case FaultMode::kNone:
+      case FaultMode::kFsyncFail:
+      case FaultMode::kFsyncFailOnce:
+        break;
+    }
+  }
+  return WriteOutcome::kProceed;
+}
+
+bool SimulatedMedia::OnSync() {
+  if (dead_) return false;
+  if (mode_ == FaultMode::kFsyncFail && write_count_ > fault_at_) {
+    dead_ = true;
+    return false;
+  }
+  if (mode_ == FaultMode::kFsyncFailOnce && write_count_ > fault_at_) {
+    mode_ = FaultMode::kNone;  // Transient: fail once, then recover.
+    return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------- FaultDiskManager.
+
+Result<PageId> FaultDiskManager::AllocatePage() {
+  if (media_->dead_) return Status::IoError("simulated disk failure");
+  media_->current_pages_.emplace_back(kPageSize, 0);
+  return static_cast<PageId>(media_->current_pages_.size() - 1);
+}
+
+Status FaultDiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (media_->dead_) return Status::IoError("simulated disk failure");
+  if (id >= media_->current_pages_.size()) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " out of range");
+  }
+  ++media_->page_reads_;
+  std::memcpy(out, media_->current_pages_[id].data(), kPageSize);
+  return Status::OK();
+}
+
+Status FaultDiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= media_->current_pages_.size()) {
+    return Status::InvalidArgument("page " + std::to_string(id) +
+                                   " out of range");
+  }
+  switch (media_->OnWrite()) {
+    case SimulatedMedia::WriteOutcome::kFail:
+      return Status::IoError("simulated disk failure");
+    case SimulatedMedia::WriteOutcome::kTorn: {
+      // Half the sector reached the platter before the power cut: the
+      // durable copy gets the first half of the new image over whatever
+      // was durable before.
+      auto& durable = media_->durable_pages_;
+      if (durable.size() <= id) {
+        durable.resize(id + 1, std::vector<uint8_t>(kPageSize, 0));
+      }
+      std::memcpy(durable[id].data(), data, kPageSize / 2);
+      return Status::IoError("simulated torn page write");
+    }
+    case SimulatedMedia::WriteOutcome::kProceed:
+      break;
+  }
+  ++media_->page_writes_;
+  std::memcpy(media_->current_pages_[id].data(), data, kPageSize);
+  return Status::OK();
+}
+
+size_t FaultDiskManager::PageCount() const {
+  return media_->current_pages_.size();
+}
+
+Status FaultDiskManager::Sync() {
+  if (!media_->OnSync()) return Status::IoError("simulated fsync failure");
+  media_->durable_pages_ = media_->current_pages_;
+  return Status::OK();
+}
+
+uint64_t FaultDiskManager::ReadCount() const { return media_->page_reads_; }
+uint64_t FaultDiskManager::WriteCount() const { return media_->page_writes_; }
+
+// ------------------------------------------------------------ FaultWalFile.
+
+Status FaultWalFile::Append(const uint8_t* data, size_t size) {
+  switch (media_->OnWrite()) {
+    case SimulatedMedia::WriteOutcome::kFail:
+      return Status::IoError("simulated WAL write failure");
+    case SimulatedMedia::WriteOutcome::kTorn:
+      // The torn half lands right after the durably-synced prefix — any
+      // volatile appends between the last fsync and now are lost with the
+      // page cache. This is what CRC framing must detect.
+      media_->durable_wal_.insert(media_->durable_wal_.end(), data,
+                                  data + size / 2);
+      return Status::IoError("simulated torn WAL write");
+    case SimulatedMedia::WriteOutcome::kProceed:
+      break;
+  }
+  media_->current_wal_.insert(media_->current_wal_.end(), data, data + size);
+  return Status::OK();
+}
+
+Status FaultWalFile::Sync() {
+  if (!media_->OnSync()) return Status::IoError("simulated fsync failure");
+  media_->durable_wal_ = media_->current_wal_;
+  return Status::OK();
+}
+
+Status FaultWalFile::Reset(const std::vector<uint8_t>& data) {
+  // Checkpoint truncation is sidecar-write + rename: the swap itself is
+  // atomic, so a fault here either keeps the old log or installs the new
+  // one — never a mixture.
+  switch (media_->OnWrite()) {
+    case SimulatedMedia::WriteOutcome::kFail:
+    case SimulatedMedia::WriteOutcome::kTorn:  // Rename can't tear.
+      media_->dead_ = true;
+      return Status::IoError("simulated WAL truncation failure");
+    case SimulatedMedia::WriteOutcome::kProceed:
+      break;
+  }
+  if (!media_->OnSync()) return Status::IoError("simulated fsync failure");
+  media_->current_wal_ = data;
+  media_->durable_wal_ = data;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> FaultWalFile::ReadAll() {
+  if (media_->dead_) return Status::IoError("simulated WAL read failure");
+  return media_->current_wal_;
+}
+
+uint64_t FaultWalFile::size() const { return media_->current_wal_.size(); }
+
+}  // namespace genalg::udb

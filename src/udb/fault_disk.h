@@ -1,0 +1,118 @@
+#ifndef GENALG_UDB_FAULT_DISK_H_
+#define GENALG_UDB_FAULT_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "udb/page.h"
+#include "udb/storage.h"
+#include "udb/wal.h"
+
+namespace genalg::udb {
+
+/// A storage stack with controllable failures: one simulated medium
+/// holding both the database pages and the WAL bytes, each with a
+/// *current* copy (what the live process sees — the OS page cache) and a
+/// *durable* copy (what survives a power cut — the platter). Writes land
+/// in the current copy; Sync() promotes current to durable; Crash()
+/// throws the current copy away and reverts to durable, exactly like
+/// pulling the plug.
+///
+/// Faults are armed on a single write-index clock shared by DB page
+/// writes and WAL appends, so a crash matrix that sweeps the index hits
+/// every interleaving of the commit protocol:
+///
+///   kKill      — write #n fails and the device is dead from then on.
+///   kTorn      — the first half of write #n reaches the durable copy
+///                (a platter write interrupted mid-sector), then dead.
+///   kFsyncFail — from write #n on, every fsync fails (and kills the
+///                device); writes before it succeed volatilely.
+///   kFsyncFailOnce — the first fsync after write #n fails, but the
+///                device survives: a transient error the caller can
+///                retry against without a restart.
+///
+/// After Crash() the medium is alive and disarmed; hand fresh
+/// FaultDiskManager / FaultWalFile views to Database::Recover.
+class SimulatedMedia {
+ public:
+  enum class FaultMode { kNone, kKill, kTorn, kFsyncFail, kFsyncFailOnce };
+
+  /// Arms a fault at write index `fault_at` (0-based on the shared
+  /// clock). Resets the clock.
+  void ArmFault(FaultMode mode, uint64_t fault_at);
+
+  /// Power cut: volatile state is lost, durable state survives, the
+  /// device comes back alive and disarmed.
+  void Crash();
+
+  bool dead() const { return dead_; }
+  uint64_t write_count() const { return write_count_; }
+
+  /// The durable copy of a page (what recovery will read after a crash),
+  /// for byte-level assertions. Zero page if never made durable.
+  std::vector<uint8_t> DurablePage(PageId id) const;
+  size_t durable_page_count() const { return durable_pages_.size(); }
+  const std::vector<uint8_t>& durable_wal() const { return durable_wal_; }
+
+ private:
+  friend class FaultDiskManager;
+  friend class FaultWalFile;
+
+  enum class WriteOutcome { kProceed, kTorn, kFail };
+
+  // Advances the shared clock and decides the fate of this write.
+  WriteOutcome OnWrite();
+  // False if this fsync fails (device dead or kFsyncFail armed and due).
+  bool OnSync();
+
+  FaultMode mode_ = FaultMode::kNone;
+  uint64_t fault_at_ = 0;
+  uint64_t write_count_ = 0;
+  bool dead_ = false;
+
+  std::vector<std::vector<uint8_t>> current_pages_;
+  std::vector<std::vector<uint8_t>> durable_pages_;
+  std::vector<uint8_t> current_wal_;
+  std::vector<uint8_t> durable_wal_;
+  uint64_t page_reads_ = 0;
+  uint64_t page_writes_ = 0;
+};
+
+/// DiskManager view over SimulatedMedia. The media must outlive it.
+class FaultDiskManager : public DiskManager {
+ public:
+  explicit FaultDiskManager(SimulatedMedia* media) : media_(media) {}
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, uint8_t* out) override;
+  Status WritePage(PageId id, const uint8_t* data) override;
+  size_t PageCount() const override;
+  Status Sync() override;
+  uint64_t ReadCount() const override;
+  uint64_t WriteCount() const override;
+
+ private:
+  SimulatedMedia* media_;
+};
+
+/// WalFile view over SimulatedMedia. The media must outlive it.
+class FaultWalFile : public WalFile {
+ public:
+  explicit FaultWalFile(SimulatedMedia* media) : media_(media) {}
+
+  Status Append(const uint8_t* data, size_t size) override;
+  Status Sync() override;
+  Status Reset(const std::vector<uint8_t>& data) override;
+  Result<std::vector<uint8_t>> ReadAll() override;
+  uint64_t size() const override;
+
+ private:
+  SimulatedMedia* media_;
+};
+
+}  // namespace genalg::udb
+
+#endif  // GENALG_UDB_FAULT_DISK_H_

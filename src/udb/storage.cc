@@ -1,10 +1,21 @@
 #include "udb/storage.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <functional>
 
 namespace genalg::udb {
+
+// ----------------------------------------------------------- DiskManager.
+
+Status DiskManager::EnsureCapacity(size_t page_count) {
+  while (PageCount() < page_count) {
+    GENALG_RETURN_IF_ERROR(AllocatePage().status());
+  }
+  return Status::OK();
+}
 
 // --------------------------------------------------- MemoryDiskManager.
 
@@ -96,6 +107,13 @@ Status FileDiskManager::WritePage(PageId id, const uint8_t* data) {
   return Status::OK();
 }
 
+Status FileDiskManager::Sync() {
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("fsync of database file failed");
+  }
+  return Status::OK();
+}
+
 // ------------------------------------------------------------ BufferPool.
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity)
@@ -120,6 +138,9 @@ Result<size_t> BufferPool::FindVictim() {
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     Frame& frame = frames_[*it];
     if (frame.pin_count > 0) continue;
+    // No-steal: a page dirtied by the open transaction must not reach the
+    // database file before its log records are durable.
+    if (tracking_ && frame.dirty && tracked_.count(frame.id) != 0) continue;
     if (frame.dirty) {
       GENALG_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
       frame.dirty = false;
@@ -159,6 +180,7 @@ Result<std::pair<PageId, uint8_t*>> BufferPool::NewPage() {
   frame.id = id;
   frame.pin_count = 1;
   frame.dirty = true;
+  if (tracking_) tracked_.insert(id);
   page_table_[id] = victim;
   TouchLru(victim);
   return std::make_pair(id, frame.data.get());
@@ -177,6 +199,7 @@ Status BufferPool::UnpinPage(PageId id, bool dirty) {
   }
   --frame.pin_count;
   frame.dirty = frame.dirty || dirty;
+  if (tracking_ && dirty) tracked_.insert(id);
   return Status::OK();
 }
 
@@ -186,6 +209,43 @@ Status BufferPool::FlushAll() {
     GENALG_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
     frame.dirty = false;
   }
+  return Status::OK();
+}
+
+Status BufferPool::BeginTracking() {
+  if (tracking_) {
+    return Status::FailedPrecondition("already tracking a transaction");
+  }
+  tracking_ = true;
+  tracked_.clear();
+  return Status::OK();
+}
+
+std::vector<PageId> BufferPool::TrackedDirtyPages() const {
+  return std::vector<PageId>(tracked_.begin(), tracked_.end());
+}
+
+void BufferPool::EndTracking() {
+  tracking_ = false;
+  tracked_.clear();
+}
+
+Status BufferPool::DiscardTracked() {
+  for (PageId id : tracked_) {
+    auto it = page_table_.find(id);
+    if (it == page_table_.end()) continue;  // Already discarded.
+    Frame& frame = frames_[it->second];
+    if (frame.pin_count > 0) {
+      return Status::FailedPrecondition(
+          "cannot discard pinned page " + std::to_string(id));
+    }
+    lru_.remove(it->second);
+    frame.id = kInvalidPageId;
+    frame.dirty = false;
+    page_table_.erase(it);
+  }
+  tracked_.clear();
+  tracking_ = false;
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +34,16 @@ class DiskManager {
   virtual Status WritePage(PageId id, const uint8_t* data) = 0;
 
   virtual size_t PageCount() const = 0;
+
+  /// Makes every written page durable (fsync). No-op for media without a
+  /// volatile cache. The WAL checkpoint protocol calls this before
+  /// truncating the log.
+  virtual Status Sync() { return Status::OK(); }
+
+  /// Grows the store to at least `page_count` pages (zero-filled). WAL
+  /// recovery uses this to re-create pages whose allocation never reached
+  /// the database file before the crash.
+  virtual Status EnsureCapacity(size_t page_count);
 
   /// Total I/O operations performed (for the benchmarks).
   virtual uint64_t ReadCount() const = 0;
@@ -70,6 +81,7 @@ class FileDiskManager : public DiskManager {
   Status ReadPage(PageId id, uint8_t* out) override;
   Status WritePage(PageId id, const uint8_t* data) override;
   size_t PageCount() const override { return page_count_; }
+  Status Sync() override;
   uint64_t ReadCount() const override { return reads_; }
   uint64_t WriteCount() const override { return writes_; }
 
@@ -106,6 +118,34 @@ class BufferPool {
   /// Writes every dirty frame back to disk.
   Status FlushAll();
 
+  // ---- Transaction support (the WAL's no-steal contract).
+  //
+  // While tracking is active, every page dirtied (or newly allocated) is
+  // recorded and becomes unevictable: its uncommitted image must never
+  // reach the database file before the transaction's log records are
+  // durable. At commit the Database reads the tracked frames, logs them,
+  // and ends tracking; at abort the tracked frames are discarded so later
+  // fetches re-read the pre-transaction images from disk.
+
+  /// Starts recording dirtied pages. FailedPrecondition if already
+  /// tracking.
+  Status BeginTracking();
+
+  /// Pages dirtied since BeginTracking, ascending. Every one of them is
+  /// still resident (no-steal guarantees it).
+  std::vector<PageId> TrackedDirtyPages() const;
+
+  /// Stops tracking without touching the frames (commit path: the frames
+  /// stay dirty and migrate to disk lazily, their images being durable in
+  /// the log).
+  void EndTracking();
+
+  /// Drops every tracked frame without write-back (abort path).
+  /// FailedPrecondition if one of them is still pinned.
+  Status DiscardTracked();
+
+  bool tracking() const { return tracking_; }
+
   size_t capacity() const { return capacity_; }
   uint64_t hit_count() const { return hits_; }
   uint64_t miss_count() const { return misses_; }
@@ -127,6 +167,8 @@ class BufferPool {
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   std::list<size_t> lru_;  // Front = most recently used.
+  bool tracking_ = false;
+  std::set<PageId> tracked_;  // Dirtied since BeginTracking.
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -1,0 +1,298 @@
+#include "udb/wal.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "base/bytes.h"
+
+namespace genalg::udb {
+
+// ------------------------------------------------------------------ CRC32.
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ------------------------------------------------------------- FileWalFile.
+
+Result<std::unique_ptr<FileWalFile>> FileWalFile::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r+b");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "w+b");
+  }
+  if (file == nullptr) {
+    return Status::IoError("cannot open WAL '" + path + "'");
+  }
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::IoError("cannot size WAL '" + path + "'");
+  }
+  return std::unique_ptr<FileWalFile>(
+      new FileWalFile(path, file, static_cast<uint64_t>(size)));
+}
+
+FileWalFile::~FileWalFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileWalFile::Append(const uint8_t* data, size_t size) {
+  if (std::fseek(file_, 0, SEEK_END) != 0 ||
+      std::fwrite(data, 1, size, file_) != size) {
+    return Status::IoError("WAL append failed ('" + path_ + "')");
+  }
+  size_ += size;
+  return Status::OK();
+}
+
+Status FileWalFile::Sync() {
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failed ('" + path_ + "')");
+  }
+  return Status::OK();
+}
+
+Status FileWalFile::Reset(const std::vector<uint8_t>& data) {
+  // Sidecar + rename: the swap is atomic, so a crash leaves either the
+  // old log or the new one-record log, never a torn mixture.
+  std::string sidecar = path_ + ".ckpt";
+  std::FILE* out = std::fopen(sidecar.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IoError("cannot write WAL sidecar '" + sidecar + "'");
+  }
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1,
+                                                  data.size(), out);
+  bool synced = std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+  std::fclose(out);
+  if (written != data.size() || !synced) {
+    std::remove(sidecar.c_str());
+    return Status::IoError("short WAL sidecar write");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  if (std::rename(sidecar.c_str(), path_.c_str()) != 0) {
+    return Status::IoError("cannot swap WAL checkpoint into place");
+  }
+  file_ = std::fopen(path_.c_str(), "r+b");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot reopen WAL '" + path_ + "'");
+  }
+  size_ = data.size();
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> FileWalFile::ReadAll() {
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::IoError("cannot rewind WAL '" + path_ + "'");
+  }
+  std::vector<uint8_t> out;
+  uint8_t chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file_)) > 0) {
+    out.insert(out.end(), chunk, chunk + n);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- WriteAheadLog.
+
+WriteAheadLog::WriteAheadLog(std::unique_ptr<WalFile> file)
+    : file_(std::move(file)) {}
+
+Status WriteAheadLog::AppendRecord(const std::vector<uint8_t>& payload) {
+  BytesWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data(), payload.size()));
+  frame.PutRaw(payload.data(), payload.size());
+  bytes_appended_ += frame.size();
+  return file_->Append(frame.data().data(), frame.size());
+}
+
+Status WriteAheadLog::AppendBegin(uint64_t txn) {
+  BytesWriter w;
+  w.PutU8(static_cast<uint8_t>(WalRecord::Type::kBegin));
+  w.PutU64(txn);
+  return AppendRecord(w.data());
+}
+
+Status WriteAheadLog::AppendPageImage(uint64_t txn, PageId page,
+                                      const uint8_t* data) {
+  BytesWriter w;
+  w.PutU8(static_cast<uint8_t>(WalRecord::Type::kPageImage));
+  w.PutU64(txn);
+  w.PutU32(page);
+  w.PutRaw(data, kPageSize);
+  return AppendRecord(w.data());
+}
+
+Status WriteAheadLog::AppendCommit(uint64_t txn,
+                                   const std::vector<uint8_t>& catalog) {
+  BytesWriter w;
+  w.PutU8(static_cast<uint8_t>(WalRecord::Type::kCommit));
+  w.PutU64(txn);
+  w.PutRaw(catalog.data(), catalog.size());
+  GENALG_RETURN_IF_ERROR(AppendRecord(w.data()));
+  if (++commits_since_sync_ >= group_commit_size_) {
+    return SyncNow();
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendAbort(uint64_t txn) {
+  BytesWriter w;
+  w.PutU8(static_cast<uint8_t>(WalRecord::Type::kAbort));
+  w.PutU64(txn);
+  return AppendRecord(w.data());
+}
+
+Status WriteAheadLog::SyncNow() {
+  commits_since_sync_ = 0;
+  ++syncs_;
+  return file_->Sync();
+}
+
+Status WriteAheadLog::Checkpoint(const std::vector<uint8_t>& catalog) {
+  BytesWriter payload;
+  payload.PutU8(static_cast<uint8_t>(WalRecord::Type::kCheckpoint));
+  payload.PutU64(0);
+  payload.PutRaw(catalog.data(), catalog.size());
+  BytesWriter frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data().data(), payload.size()));
+  frame.PutRaw(payload.data().data(), payload.size());
+  commits_since_sync_ = 0;
+  ++syncs_;
+  return file_->Reset(frame.data());
+}
+
+std::vector<WalRecord> WriteAheadLog::Scan(const std::vector<uint8_t>& bytes,
+                                           bool* tail_torn) {
+  // The largest legal payload is a page image: type + txn + page + page
+  // bytes. Catalogs are small; anything bigger is a corrupt frame.
+  constexpr size_t kMaxPayload = 1 + 8 + 4 + kPageSize + (64u << 10);
+  std::vector<WalRecord> records;
+  bool torn = false;
+  BytesReader r(bytes);
+  while (r.remaining() > 0) {
+    auto len = r.GetU32();
+    auto crc = r.GetU32();
+    if (!len.ok() || !crc.ok() || *len > kMaxPayload ||
+        r.remaining() < *len) {
+      torn = true;
+      break;
+    }
+    std::vector<uint8_t> payload(*len);
+    if (!r.GetRaw(payload.data(), *len).ok() ||
+        Crc32(payload.data(), payload.size()) != *crc) {
+      torn = true;
+      break;
+    }
+    BytesReader p(payload);
+    WalRecord record;
+    auto type = p.GetU8();
+    auto txn = p.GetU64();
+    if (!type.ok() || !txn.ok() || *type < 1 || *type > 5) {
+      torn = true;
+      break;
+    }
+    record.type = static_cast<WalRecord::Type>(*type);
+    record.txn = *txn;
+    if (record.type == WalRecord::Type::kPageImage) {
+      auto page = p.GetU32();
+      if (!page.ok() || p.remaining() != kPageSize) {
+        torn = true;
+        break;
+      }
+      record.page = *page;
+    }
+    record.payload.assign(payload.begin() + payload.size() - p.remaining(),
+                          payload.end());
+    records.push_back(std::move(record));
+  }
+  if (tail_torn != nullptr) *tail_torn = torn;
+  return records;
+}
+
+Result<WalReplayStats> WriteAheadLog::Replay(WalFile* file,
+                                             DiskManager* disk) {
+  GENALG_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, file->ReadAll());
+  WalReplayStats stats;
+  std::vector<WalRecord> records = Scan(bytes, &stats.tail_torn);
+  stats.records_scanned = records.size();
+
+  // Only records after the last checkpoint matter; everything before it
+  // is already durable in the database file.
+  size_t start = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].type == WalRecord::Type::kCheckpoint) {
+      start = i;
+      stats.catalog = records[i].payload;
+      stats.has_catalog = true;
+    }
+  }
+
+  // Pass 1: which transactions committed (their commit frame survived)?
+  std::set<uint64_t> committed;
+  std::map<uint64_t, const std::vector<uint8_t>*> commit_catalogs;
+  for (size_t i = start; i < records.size(); ++i) {
+    if (records[i].type == WalRecord::Type::kCommit) {
+      committed.insert(records[i].txn);
+      commit_catalogs[records[i].txn] = &records[i].payload;
+    }
+  }
+  stats.committed_txns = committed.size();
+
+  // Pass 2: redo the page images of committed transactions in log order.
+  // Later images of the same page overwrite earlier ones, and a replayed
+  // image always overwrites a torn data-page write — replay is idempotent.
+  uint64_t last_committed = 0;
+  for (size_t i = start; i < records.size(); ++i) {
+    const WalRecord& record = records[i];
+    if (record.type == WalRecord::Type::kPageImage &&
+        committed.count(record.txn) != 0) {
+      GENALG_RETURN_IF_ERROR(
+          disk->EnsureCapacity(static_cast<size_t>(record.page) + 1));
+      GENALG_RETURN_IF_ERROR(
+          disk->WritePage(record.page, record.payload.data()));
+      ++stats.pages_replayed;
+    }
+    if (record.type == WalRecord::Type::kCommit &&
+        record.txn >= last_committed) {
+      last_committed = record.txn;
+      stats.catalog = record.payload;
+      stats.has_catalog = true;
+    }
+  }
+  GENALG_RETURN_IF_ERROR(disk->Sync());
+  return stats;
+}
+
+}  // namespace genalg::udb

@@ -1,0 +1,165 @@
+#ifndef GENALG_UDB_WAL_H_
+#define GENALG_UDB_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "udb/page.h"
+#include "udb/storage.h"
+
+namespace genalg::udb {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used to frame WAL records so
+/// torn tail writes are detected; exposed for the fault-injection tests.
+uint32_t Crc32(const void* data, size_t size);
+
+/// The append-only byte medium under the write-ahead log. Two
+/// implementations: a real file (FileWalFile) and the fault-injecting
+/// in-memory medium used by the crash-matrix tests (fault_disk.h).
+class WalFile {
+ public:
+  virtual ~WalFile() = default;
+
+  /// Appends `size` bytes at the end. The bytes are not durable until
+  /// Sync() returns OK.
+  virtual Status Append(const uint8_t* data, size_t size) = 0;
+
+  /// Makes every appended byte durable (fsync).
+  virtual Status Sync() = 0;
+
+  /// Atomically replaces the whole content with `data` and makes it
+  /// durable — the checkpoint truncation primitive. A crash during Reset
+  /// must leave either the old or the new content, never a mixture (the
+  /// file implementation writes a sidecar and renames it into place).
+  virtual Status Reset(const std::vector<uint8_t>& data) = 0;
+
+  /// The full current content, for recovery scans.
+  virtual Result<std::vector<uint8_t>> ReadAll() = 0;
+
+  virtual uint64_t size() const = 0;
+};
+
+/// WalFile over a real file. Reset uses write-to-sidecar + rename so the
+/// checkpoint swap is atomic on POSIX filesystems.
+class FileWalFile : public WalFile {
+ public:
+  static Result<std::unique_ptr<FileWalFile>> Open(const std::string& path);
+  ~FileWalFile() override;
+
+  Status Append(const uint8_t* data, size_t size) override;
+  Status Sync() override;
+  Status Reset(const std::vector<uint8_t>& data) override;
+  Result<std::vector<uint8_t>> ReadAll() override;
+  uint64_t size() const override { return size_; }
+
+ private:
+  FileWalFile(std::string path, std::FILE* file, uint64_t size)
+      : path_(std::move(path)), file_(file), size_(size) {}
+
+  std::string path_;
+  std::FILE* file_;
+  uint64_t size_;
+};
+
+/// One parsed WAL record (recovery-scan view).
+struct WalRecord {
+  enum class Type : uint8_t {
+    kBegin = 1,       // txn
+    kPageImage = 2,   // txn, page id, full page bytes
+    kCommit = 3,      // txn, catalog snapshot
+    kAbort = 4,       // txn
+    kCheckpoint = 5,  // catalog snapshot; everything before it is flushed
+  };
+
+  Type type = Type::kBegin;
+  uint64_t txn = 0;
+  PageId page = kInvalidPageId;
+  std::vector<uint8_t> payload;  // Page image or catalog blob.
+};
+
+/// What a recovery replay did — surfaced so tests and operators can see
+/// whether the tail was torn and how much was reapplied.
+struct WalReplayStats {
+  size_t records_scanned = 0;
+  size_t committed_txns = 0;
+  size_t pages_replayed = 0;
+  bool tail_torn = false;           // Scan stopped at a bad frame.
+  std::vector<uint8_t> catalog;     // Latest durable catalog snapshot.
+  bool has_catalog = false;
+};
+
+/// The physical write-ahead log (redo-only, page-image granularity).
+///
+/// Protocol: the engine runs no-steal — a page dirtied by an open
+/// transaction never reaches the database file before commit. At commit,
+/// the full image of every page the transaction dirtied is appended,
+/// followed by a commit record carrying the catalog snapshot, and the log
+/// is fsynced; only then does Commit() return. Data pages migrate to the
+/// database file lazily (eviction, checkpoint). Recovery replays the page
+/// images of committed transactions in log order onto the database file,
+/// so a torn data-page write is always overwritten by its logged image.
+///
+/// Framing: each record is [u32 length][u32 crc32][payload]; the CRC
+/// covers the payload. A truncated or corrupt frame ends the scan — the
+/// tail beyond it was never acknowledged as durable.
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(std::unique_ptr<WalFile> file);
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  Status AppendBegin(uint64_t txn);
+  Status AppendPageImage(uint64_t txn, PageId page, const uint8_t* data);
+  /// Appends the commit record and fsyncs (or defers the fsync under
+  /// group commit — see set_group_commit_size).
+  Status AppendCommit(uint64_t txn, const std::vector<uint8_t>& catalog);
+  Status AppendAbort(uint64_t txn);
+
+  /// Checkpoint truncation: atomically replaces the log with a single
+  /// checkpoint record carrying `catalog`. Call only after every page is
+  /// flushed and fsynced to the database file.
+  Status Checkpoint(const std::vector<uint8_t>& catalog);
+
+  /// Forces any deferred group-commit fsync to happen now.
+  Status SyncNow();
+
+  /// Group commit: fsync once every `n` commits instead of every commit
+  /// (n == 1 restores fsync-per-commit). Commits between fsyncs trade
+  /// durability of the last < n transactions for throughput; atomicity is
+  /// unaffected. For the durability-tax benchmark.
+  void set_group_commit_size(size_t n) { group_commit_size_ = n == 0 ? 1 : n; }
+
+  uint64_t sync_count() const { return syncs_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  WalFile* file() { return file_.get(); }
+
+  /// Scans `bytes` and returns every well-framed record up to the first
+  /// torn/corrupt frame (reported via *tail_torn when non-null).
+  static std::vector<WalRecord> Scan(const std::vector<uint8_t>& bytes,
+                                     bool* tail_torn);
+
+  /// Recovery: replays the page images of committed transactions since
+  /// the last checkpoint onto `disk` (extending it as needed) and fsyncs
+  /// it. Idempotent — replaying twice yields the same disk state. Returns
+  /// the latest durable catalog snapshot alongside the replay counters.
+  static Result<WalReplayStats> Replay(WalFile* file, DiskManager* disk);
+
+ private:
+  Status AppendRecord(const std::vector<uint8_t>& payload);
+
+  std::unique_ptr<WalFile> file_;
+  size_t group_commit_size_ = 1;
+  size_t commits_since_sync_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t bytes_appended_ = 0;
+};
+
+}  // namespace genalg::udb
+
+#endif  // GENALG_UDB_WAL_H_

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "algebra/signature.h"
+#include "etl/pipeline.h"
+#include "etl/source.h"
+#include "etl/warehouse.h"
+#include "udb/adapter.h"
+#include "udb/database.h"
+#include "udb/fault_disk.h"
+
+namespace genalg::etl {
+namespace {
+
+using udb::Database;
+using udb::FaultDiskManager;
+using udb::FaultWalFile;
+using udb::SimulatedMedia;
+
+#define ASSERT_OK(expr) ASSERT_TRUE((expr).ok()) << (expr).ToString()
+
+// The warehouse refresh cycle under a dying disk: a failed cycle must
+// leave the previously loaded consistent snapshot, recovery must serve
+// it, and a later refresh must converge to the source's new state.
+class EtlCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(algebra::RegisterStandardAlgebra(&algebra_).ok());
+    adapter_ = std::make_unique<udb::Adapter>(&algebra_);
+    ASSERT_TRUE(udb::RegisterStandardUdts(adapter_.get()).ok());
+  }
+
+  std::unique_ptr<Database> OpenFresh(SimulatedMedia* media) {
+    auto db = std::make_unique<Database>(
+        adapter_.get(), std::make_unique<FaultDiskManager>(media), 128);
+    Status enabled = db->EnableWal(std::make_unique<FaultWalFile>(media));
+    EXPECT_TRUE(enabled.ok()) << enabled.ToString();
+    return db;
+  }
+
+  Result<std::unique_ptr<Database>> Reopen(SimulatedMedia* media) {
+    return Database::Recover(adapter_.get(),
+                             std::make_unique<FaultDiskManager>(media),
+                             std::make_unique<FaultWalFile>(media), 128);
+  }
+
+  // A deterministic source: same seed + same call sequence == same
+  // content, which lets a fault-free twin supply the expected state.
+  static std::unique_ptr<SyntheticSource> MakeSource() {
+    auto source = std::make_unique<SyntheticSource>(
+        "genbank", SourceRepresentation::kFlatFile,
+        SourceCapability::kLogged, /*seed=*/1234);
+    Status populated = source->Populate(6, 160, /*noise_rate=*/0.0);
+    EXPECT_TRUE(populated.ok()) << populated.ToString();
+    return source;
+  }
+
+  static std::string MustExport(Warehouse* warehouse) {
+    auto xml = warehouse->ExportGenAlgXml();
+    EXPECT_TRUE(xml.ok()) << xml.status().ToString();
+    return xml.ok() ? *xml : std::string();
+  }
+
+  algebra::SignatureRegistry algebra_;
+  std::unique_ptr<udb::Adapter> adapter_;
+};
+
+TEST_F(EtlCrashTest, KilledRefreshServesPreviousSnapshotThenConverges) {
+  // Fault-free twin: the state the warehouse should converge to.
+  auto twin_source = MakeSource();
+  Database twin_db(adapter_.get());
+  Warehouse twin(&twin_db);
+  EtlPipeline twin_pipeline(&twin);
+  ASSERT_OK(twin.InitSchema());
+  ASSERT_OK(twin_pipeline.AddSource(twin_source.get()));
+  ASSERT_OK(twin_pipeline.InitialLoad());
+  ASSERT_OK(twin_source->EvolveStep(/*p_update=*/0.8, /*p_churn=*/0.0));
+  ASSERT_OK(twin_pipeline.RunOnce().status());
+  std::string converged_xml = MustExport(&twin);
+
+  // The run under test, on fault-injecting media.
+  auto source = MakeSource();
+  SimulatedMedia media;
+  auto db = OpenFresh(&media);
+  Warehouse warehouse(db.get());
+  EtlPipeline pipeline(&warehouse);
+  ASSERT_OK(warehouse.InitSchema());
+  ASSERT_OK(pipeline.AddSource(source.get()));
+  ASSERT_OK(pipeline.InitialLoad());
+  std::string loaded_xml = MustExport(&warehouse);
+  auto count = warehouse.SequenceCount();
+  ASSERT_OK(count.status());
+  EXPECT_EQ(*count, 6);
+
+  // The source moves on; the disk dies three writes into the refresh.
+  ASSERT_OK(source->EvolveStep(/*p_update=*/0.8, /*p_churn=*/0.0));
+  media.ArmFault(SimulatedMedia::FaultMode::kKill, 3);
+  EXPECT_FALSE(pipeline.RunOnce().ok());
+
+  // Power-cycle and recover: the previous consistent snapshot is served —
+  // not a half-applied refresh.
+  db.reset();
+  media.Crash();
+  auto recovered = Reopen(&media);
+  ASSERT_OK(recovered.status());
+  Warehouse warehouse2(recovered->get());
+  auto count2 = warehouse2.SequenceCount();
+  ASSERT_OK(count2.status());
+  EXPECT_EQ(*count2, *count);
+  EXPECT_EQ(MustExport(&warehouse2), loaded_xml);
+
+  // Re-running the refresh from a fresh extract converges on the
+  // source's current state.
+  EtlPipeline pipeline2(&warehouse2);
+  ASSERT_OK(pipeline2.AddSource(source.get()));
+  ASSERT_OK(pipeline2.FullReload());
+  EXPECT_EQ(MustExport(&warehouse2), converged_xml);
+}
+
+TEST_F(EtlCrashTest, TransientCommitFailureRetriesWithoutRestart) {
+  auto twin_source = MakeSource();
+  Database twin_db(adapter_.get());
+  Warehouse twin(&twin_db);
+  EtlPipeline twin_pipeline(&twin);
+  ASSERT_OK(twin.InitSchema());
+  ASSERT_OK(twin_pipeline.AddSource(twin_source.get()));
+  ASSERT_OK(twin_pipeline.InitialLoad());
+  ASSERT_OK(twin_source->EvolveStep(/*p_update=*/1.0, /*p_churn=*/0.0));
+  ASSERT_OK(twin_pipeline.RunOnce().status());
+  std::string converged_xml = MustExport(&twin);
+
+  auto source = MakeSource();
+  SimulatedMedia media;
+  auto db = OpenFresh(&media);
+  Warehouse warehouse(db.get());
+  EtlPipeline pipeline(&warehouse);
+  ASSERT_OK(warehouse.InitSchema());
+  ASSERT_OK(pipeline.AddSource(source.get()));
+  ASSERT_OK(pipeline.InitialLoad());
+  std::string loaded_xml = MustExport(&warehouse);
+
+  ASSERT_OK(source->EvolveStep(/*p_update=*/1.0, /*p_churn=*/0.0));
+
+  // One fsync fails mid-cycle; the device survives. The round rolls back
+  // (database AND staging image) and its deltas stay buffered.
+  media.ArmFault(SimulatedMedia::FaultMode::kFsyncFailOnce, 0);
+  EXPECT_FALSE(pipeline.RunOnce().ok());
+  EXPECT_EQ(MustExport(&warehouse), loaded_xml);
+
+  // Same pipeline, same process: the retry applies the buffered deltas.
+  auto retried = pipeline.RunOnce();
+  ASSERT_OK(retried.status());
+  EXPECT_GT(retried->deltas_applied, 0u);
+  EXPECT_EQ(MustExport(&warehouse), converged_xml);
+}
+
+}  // namespace
+}  // namespace genalg::etl

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "base/rng.h"
 #include "formats/embl.h"
@@ -460,6 +462,86 @@ TEST_P(FormatRoundTripTest, AllWrappersPreserveTheRecord) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FormatRoundTripTest,
                          ::testing::Range(100, 112));
+
+// ------------------------------------------------- Fuzz-ish robustness.
+//
+// Repository dumps arrive over flaky transfers: truncated mid-record,
+// spliced with garbage, or with whole spans overwritten. Whatever the
+// parsers are fed, they must return a Status — never crash, loop, or
+// read out of bounds (the ASan CI job keeps this honest).
+
+std::vector<std::string> FuzzCorpus(Rng* rng) {
+  std::vector<SequenceRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    SequenceRecord r = MakeRecord();
+    r.accession = "FZ" + std::to_string(i);
+    r.sequence = NucleotideSequence::Dna(
+                     rng->RandomString(30 + rng->Uniform(120), "ACGTN"))
+                     .value();
+    records.push_back(std::move(r));
+  }
+  return {WriteGenBank(records), WriteEmbl(records), WriteFasta(records),
+          WriteGenAlgXml(records)};
+}
+
+void ExpectParsersSurvive(const std::string& text) {
+  // The parse may succeed or fail; it must only do so through Status.
+  (void)ParseGenBank(text).status();
+  (void)ParseEmbl(text).status();
+  (void)ParseFasta(text).status();
+  (void)ParseGenAlgXml(text).status();
+}
+
+class FormatFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormatFuzzTest, TruncatedInputsReturnStatusNotCrash) {
+  Rng rng(GetParam());
+  for (const std::string& text : FuzzCorpus(&rng)) {
+    // Every prefix in coarse steps, plus random cut points mid-token.
+    for (size_t cut = 0; cut < text.size(); cut += 7) {
+      ExpectParsersSurvive(text.substr(0, cut));
+    }
+    for (int i = 0; i < 32; ++i) {
+      ExpectParsersSurvive(text.substr(0, rng.Uniform(text.size() + 1)));
+    }
+  }
+}
+
+TEST_P(FormatFuzzTest, GarbageSplicedInputsReturnStatusNotCrash) {
+  Rng rng(GetParam());
+  // NB: the NUL byte is appended separately — a literal "\x00..." would
+  // truncate the C-string at the first byte.
+  std::string bytes = "\x01\x07\x7f\xff ACGTacgt0123456789..//==\"\"\n\r\t<>&";
+  bytes.push_back('\0');
+  for (const std::string& text : FuzzCorpus(&rng)) {
+    for (int trial = 0; trial < 24; ++trial) {
+      std::string mutated = text;
+      // Overwrite a random span with random bytes.
+      size_t begin = rng.Uniform(mutated.size());
+      size_t len = 1 + rng.Uniform(64);
+      for (size_t i = begin; i < std::min(begin + len, mutated.size());
+           ++i) {
+        mutated[i] = bytes[rng.Uniform(bytes.size())];
+      }
+      // Splice a random insertion at a random point.
+      mutated.insert(rng.Uniform(mutated.size()),
+                     rng.RandomString(rng.Uniform(48), bytes));
+      ExpectParsersSurvive(mutated);
+    }
+  }
+}
+
+TEST_P(FormatFuzzTest, PureGarbageReturnsStatusNotCrash) {
+  Rng rng(GetParam());
+  const std::string alphabet =
+      "LOCUS ID SQ // >\n\r\t\"/=<>&defline ORIGIN FT abc\x01\xff";
+  for (int trial = 0; trial < 48; ++trial) {
+    ExpectParsersSurvive(
+        rng.RandomString(rng.Uniform(2048), alphabet));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatFuzzTest, ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace genalg::formats

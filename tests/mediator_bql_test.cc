@@ -180,6 +180,118 @@ TEST(BqlParseTest, RejectsMalformedQueries) {
   EXPECT_FALSE(bql::ParseBql("count features containing ACGT").ok());
 }
 
+// ------------------------------------------------- BQL render round-trip.
+
+// Parse → render → re-parse must reproduce the AST exactly. Together with
+// the randomized generator below this pins RenderBql as a true inverse of
+// ParseBql over the whole grammar.
+TEST(BqlRoundTripTest, CanonicalQueriesSurviveParseRenderParse) {
+  const char* kQueries[] = {
+      "find sequences",
+      "count sequences",
+      "find features",
+      "count features",
+      "show gc of sequences",
+      "show length of sequences",
+      "show confidence of sequences",
+      "show organism of sequences",
+      "show confidence of features",
+      "find sequences from \"Synthetica exempli\"",
+      "find sequences from Synthetica",
+      "find sequences containing ATTGCCATA",
+      "find sequences resembling ACGTACGTACGTACGT",
+      "find features of SRC100001",
+      "find sequences of B1",
+      "count sequences with gc above 0.5",
+      "count sequences with gc below 0.25 with length above 100",
+      "find sequences with confidence below 0.9 first 7",
+      "find features of ACC1 with confidence above 0.5",
+      "show gc of sequences resembling ACGT first 3",
+      "find sequences from \"Synthetica exempli\" containing ATTGCCATA "
+      "with gc above 0.4 with length below 5000 with confidence above 0.1 "
+      "first 10",
+  };
+  for (const char* text : kQueries) {
+    auto parsed = bql::ParseBql(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    std::string rendered = bql::RenderBql(*parsed);
+    auto reparsed = bql::ParseBql(rendered);
+    ASSERT_TRUE(reparsed.ok())
+        << text << " rendered to unparseable '" << rendered
+        << "': " << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, *parsed)
+        << text << " round-tripped through '" << rendered << "'";
+    // Canonical output is a fixed point: rendering the re-parsed query
+    // reproduces the same text.
+    EXPECT_EQ(bql::RenderBql(*reparsed), rendered);
+  }
+}
+
+// Builds a random BqlQuery that respects the parser's validation rules:
+// features take no containing/resembling/gc/length clauses, and
+// show+features is only legal with the confidence metric.
+bql::BqlQuery RandomBqlQuery(Rng* rng) {
+  bql::BqlQuery q;
+  q.action = static_cast<bql::BqlQuery::Action>(rng->Uniform(3));
+  q.target = rng->Bernoulli(0.5) ? bql::BqlQuery::Target::kSequences
+                                 : bql::BqlQuery::Target::kFeatures;
+  bool features = q.target == bql::BqlQuery::Target::kFeatures;
+  if (q.action == bql::BqlQuery::Action::kShow) {
+    q.metric = features ? bql::BqlQuery::Metric::kConfidence
+                        : static_cast<bql::BqlQuery::Metric>(rng->Uniform(4));
+  }
+  if (rng->Bernoulli(0.5)) {
+    // Multi-word organisms exercise the quoted-phrase tokenizer path.
+    q.organism = rng->RandomString(1 + rng->Uniform(8),
+                                   "abcdefghijklmnopqrstuvwxyz");
+    if (rng->Bernoulli(0.5)) {
+      *q.organism += ' ' + rng->RandomString(1 + rng->Uniform(8),
+                                             "abcdefghijklmnopqrstuvwxyz");
+    }
+  }
+  if (!features && rng->Bernoulli(0.4)) {
+    q.containing = rng->RandomDna(1 + rng->Uniform(24));
+  }
+  if (!features && rng->Bernoulli(0.4)) {
+    q.resembling = rng->RandomDna(1 + rng->Uniform(24));
+  }
+  if (rng->Bernoulli(0.4)) {
+    q.accession = rng->RandomString(
+        4 + rng->Uniform(8), "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789");
+  }
+  auto random_bound = [&]() {
+    bql::BqlQuery::Bound b;
+    b.above = rng->Bernoulli(0.5);
+    // Mix of clean fractions and full-precision doubles so the number
+    // renderer is exercised on values that need many digits.
+    b.value = rng->Bernoulli(0.5)
+                  ? static_cast<double>(rng->Uniform(1000)) / 100.0
+                  : rng->NextDouble() * 1e6;
+    return b;
+  };
+  if (!features && rng->Bernoulli(0.4)) q.gc_bound = random_bound();
+  if (!features && rng->Bernoulli(0.4)) q.length_bound = random_bound();
+  if (rng->Bernoulli(0.4)) q.confidence_bound = random_bound();
+  if (rng->Bernoulli(0.4)) q.limit = static_cast<int64_t>(rng->Uniform(1000));
+  return q;
+}
+
+class BqlRoundTripFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BqlRoundTripFuzzTest, RandomValidAstsSurviveRenderParse) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 0x9E3779B9u + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    bql::BqlQuery q = RandomBqlQuery(&rng);
+    std::string rendered = bql::RenderBql(q);
+    auto reparsed = bql::ParseBql(rendered);
+    ASSERT_TRUE(reparsed.ok())
+        << "'" << rendered << "': " << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, q) << "round-trip mismatch via '" << rendered << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BqlRoundTripFuzzTest, ::testing::Range(1, 7));
+
 class BqlEndToEndTest : public ::testing::Test {
  protected:
   void SetUp() override {

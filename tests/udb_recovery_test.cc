@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/signature.h"
+#include "udb/adapter.h"
+#include "udb/database.h"
+#include "udb/fault_disk.h"
+#include "udb/storage.h"
+#include "udb/wal.h"
+
+namespace genalg::udb {
+namespace {
+
+#define ASSERT_OK(expr) ASSERT_TRUE((expr).ok()) << (expr).ToString()
+#define EXPECT_OK(expr) EXPECT_TRUE((expr).ok()) << (expr).ToString()
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(algebra::RegisterStandardAlgebra(&algebra_).ok());
+    adapter_ = std::make_unique<Adapter>(&algebra_);
+    ASSERT_TRUE(RegisterStandardUdts(adapter_.get()).ok());
+  }
+
+  // A fresh WAL-enabled database over `media`.
+  std::unique_ptr<Database> OpenFresh(SimulatedMedia* media) {
+    auto db = std::make_unique<Database>(
+        adapter_.get(), std::make_unique<FaultDiskManager>(media), 64);
+    Status enabled = db->EnableWal(std::make_unique<FaultWalFile>(media));
+    EXPECT_OK(enabled);
+    return db;
+  }
+
+  Result<std::unique_ptr<Database>> Reopen(SimulatedMedia* media) {
+    return Database::Recover(adapter_.get(),
+                             std::make_unique<FaultDiskManager>(media),
+                             std::make_unique<FaultWalFile>(media), 64);
+  }
+
+  algebra::SignatureRegistry algebra_;
+  std::unique_ptr<Adapter> adapter_;
+};
+
+// --------------------------------------------------- Deterministic workload.
+//
+// Four transactions mixing DDL, inserts, index creation, and deletes. The
+// crash matrix replays this same workload under every fault and checks
+// that recovery lands exactly on the last committed prefix.
+
+constexpr int kSteps = 4;
+
+Status RunStep(Database* db, int step) {
+  auto insert = [db](int64_t id, const std::string& name) {
+    return db->InsertRow("specimens",
+                         {Datum::Int(id), Datum::String(name)});
+  };
+  switch (step) {
+    case 0:
+      GENALG_RETURN_IF_ERROR(db->CreateTable(
+          "specimens",
+          {{"id", ColumnType::Int()}, {"name", ColumnType::String()}},
+          Space::kUser));
+      GENALG_RETURN_IF_ERROR(insert(1, "adh"));
+      return insert(2, "cyc");
+    case 1:
+      GENALG_RETURN_IF_ERROR(insert(3, "gap"));
+      GENALG_RETURN_IF_ERROR(insert(4, "his"));
+      return insert(5, "rbc");
+    case 2:
+      GENALG_RETURN_IF_ERROR(db->CreateBTreeIndex("specimens", "id"));
+      GENALG_RETURN_IF_ERROR(insert(6, "tub"));
+      return insert(7, "ubi");
+    case 3:
+      GENALG_RETURN_IF_ERROR(
+          db->Execute("DELETE FROM specimens WHERE id = 3").status());
+      return insert(8, "act");
+    default:
+      return Status::InvalidArgument("no such step");
+  }
+}
+
+// One workload transaction: explicit Begin/Commit with rollback on error.
+Status RunTxn(Database* db, int step) {
+  GENALG_RETURN_IF_ERROR(db->Begin());
+  Status s = RunStep(db, step);
+  if (s.ok()) return db->Commit();
+  if (db->in_transaction()) (void)db->Abort();
+  return s;
+}
+
+// The ids visible after each committed prefix (sorted).
+const std::vector<std::vector<int64_t>> kExpectedIds = {
+    {},
+    {1, 2},
+    {1, 2, 3, 4, 5},
+    {1, 2, 3, 4, 5, 6, 7},
+    {1, 2, 4, 5, 6, 7, 8},
+};
+
+std::vector<int64_t> SpecimenIds(Database* db) {
+  auto rows = db->ScanTable("specimens");
+  if (!rows.ok()) return {};
+  std::vector<int64_t> ids;
+  for (const Row& row : *rows) {
+    auto id = row[0].AsInt();
+    if (id.ok()) ids.push_back(*id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<std::vector<uint8_t>> DurablePages(const SimulatedMedia& media) {
+  std::vector<std::vector<uint8_t>> pages;
+  for (size_t i = 0; i < media.durable_page_count(); ++i) {
+    pages.push_back(media.DurablePage(static_cast<PageId>(i)));
+  }
+  return pages;
+}
+
+// ------------------------------------------------------------- WAL basics.
+
+TEST(Crc32Test, MatchesKnownVector) {
+  const char* msg = "123456789";
+  EXPECT_EQ(Crc32(msg, 9), 0xCBF43926u);
+}
+
+TEST(WalScanTest, StopsAtTornTail) {
+  SimulatedMedia media;
+  FaultWalFile file(&media);
+  WriteAheadLog wal(
+      std::make_unique<FaultWalFile>(&media));
+  ASSERT_OK(wal.AppendBegin(1));
+  std::vector<uint8_t> page(kPageSize, 0xAB);
+  ASSERT_OK(wal.AppendPageImage(1, 0, page.data()));
+  ASSERT_OK(wal.AppendCommit(1, {}));
+  // Garbage tail: half a frame header.
+  uint8_t junk[6] = {0xFF, 0xFF, 0xFF, 0x7F, 0x00, 0x01};
+  ASSERT_OK(file.Append(junk, sizeof(junk)));
+  ASSERT_OK(file.Sync());
+
+  auto bytes = file.ReadAll();
+  ASSERT_OK(bytes.status());
+  bool torn = false;
+  std::vector<WalRecord> records = WriteAheadLog::Scan(*bytes, &torn);
+  EXPECT_TRUE(torn);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, WalRecord::Type::kBegin);
+  EXPECT_EQ(records[1].type, WalRecord::Type::kPageImage);
+  EXPECT_EQ(records[1].payload, page);
+  EXPECT_EQ(records[2].type, WalRecord::Type::kCommit);
+}
+
+TEST(WalScanTest, RejectsCorruptedPayload) {
+  SimulatedMedia media;
+  WriteAheadLog wal(std::make_unique<FaultWalFile>(&media));
+  ASSERT_OK(wal.AppendBegin(7));
+  ASSERT_OK(wal.AppendCommit(7, {}));
+  ASSERT_OK(wal.SyncNow());
+  std::vector<uint8_t> bytes = media.durable_wal();
+  bytes[9] ^= 0x01;  // Flip a bit inside the first payload.
+  bool torn = false;
+  std::vector<WalRecord> records = WriteAheadLog::Scan(bytes, &torn);
+  EXPECT_TRUE(torn);
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(RecoveryTest, CommittedTransactionsSurviveCrash) {
+  SimulatedMedia media;
+  auto db = OpenFresh(&media);
+  for (int step = 0; step < kSteps; ++step) {
+    ASSERT_OK(RunTxn(db.get(), step));
+  }
+  db.reset();
+  media.Crash();
+
+  auto recovered = Reopen(&media);
+  ASSERT_OK(recovered.status());
+  EXPECT_EQ(SpecimenIds(recovered->get()), kExpectedIds[kSteps]);
+  // The rebuilt catalog carries the index definition.
+  auto explain =
+      (*recovered)->Explain("SELECT name FROM specimens WHERE id = 4");
+  ASSERT_OK(explain.status());
+  EXPECT_NE(explain->find("btree"), std::string::npos) << *explain;
+}
+
+TEST_F(RecoveryTest, UncommittedTransactionIsInvisibleAfterCrash) {
+  SimulatedMedia media;
+  auto db = OpenFresh(&media);
+  ASSERT_OK(RunTxn(db.get(), 0));
+  // Open a transaction and die before commit.
+  ASSERT_OK(db->Begin());
+  ASSERT_OK(db->InsertRow("specimens",
+                          {Datum::Int(99), Datum::String("ghost")}));
+  db.reset();
+  media.Crash();
+
+  auto recovered = Reopen(&media);
+  ASSERT_OK(recovered.status());
+  EXPECT_EQ(SpecimenIds(recovered->get()), kExpectedIds[1]);
+}
+
+TEST_F(RecoveryTest, AbortRollsBackRowsAndCatalog) {
+  SimulatedMedia media;
+  auto db = OpenFresh(&media);
+  ASSERT_OK(RunTxn(db.get(), 0));
+
+  ASSERT_OK(db->Begin());
+  ASSERT_OK(db->InsertRow("specimens",
+                          {Datum::Int(50), Datum::String("tmp")}));
+  ASSERT_OK(db->CreateTable("scratch", {{"x", ColumnType::Int()}},
+                            Space::kUser));
+  ASSERT_OK(db->CreateBTreeIndex("specimens", "id"));
+  ASSERT_OK(db->Abort());
+
+  EXPECT_EQ(SpecimenIds(db.get()), kExpectedIds[1]);
+  EXPECT_FALSE(db->GetSchema("scratch").ok());
+  auto explain = db->Explain("SELECT name FROM specimens WHERE id = 1");
+  ASSERT_OK(explain.status());
+  EXPECT_EQ(explain->find("btree"), std::string::npos) << *explain;
+  // The aborted transaction leaves the database fully usable.
+  ASSERT_OK(RunTxn(db.get(), 1));
+  EXPECT_EQ(SpecimenIds(db.get()), kExpectedIds[2]);
+}
+
+TEST_F(RecoveryTest, CheckpointTruncatesLogAndPreservesState) {
+  SimulatedMedia media;
+  auto db = OpenFresh(&media);
+  ASSERT_OK(RunTxn(db.get(), 0));
+  ASSERT_OK(RunTxn(db.get(), 1));
+  uint64_t before = db->wal()->file()->size();
+  ASSERT_OK(db->Checkpoint());
+  EXPECT_LT(db->wal()->file()->size(), before);
+  db.reset();
+  media.Crash();
+
+  auto recovered = Reopen(&media);
+  ASSERT_OK(recovered.status());
+  EXPECT_EQ(SpecimenIds(recovered->get()), kExpectedIds[2]);
+}
+
+TEST_F(RecoveryTest, ReplayIsIdempotent) {
+  SimulatedMedia media;
+  auto db = OpenFresh(&media);
+  for (int step = 0; step < kSteps; ++step) {
+    ASSERT_OK(RunTxn(db.get(), step));
+  }
+  db.reset();
+  media.Crash();
+
+  FaultDiskManager disk(&media);
+  FaultWalFile wal(&media);
+  auto first = WriteAheadLog::Replay(&wal, &disk);
+  ASSERT_OK(first.status());
+  std::vector<std::vector<uint8_t>> after_once = DurablePages(media);
+  auto second = WriteAheadLog::Replay(&wal, &disk);
+  ASSERT_OK(second.status());
+  EXPECT_EQ(DurablePages(media), after_once);
+  EXPECT_EQ(second->pages_replayed, first->pages_replayed);
+}
+
+TEST_F(RecoveryTest, GroupCommitBatchesFsyncs) {
+  SimulatedMedia media1;
+  SimulatedMedia media2;
+  auto every = OpenFresh(&media1);
+  auto grouped = OpenFresh(&media2);
+  grouped->wal()->set_group_commit_size(4);
+
+  ASSERT_OK(every->CreateTable("t", {{"x", ColumnType::Int()}},
+                               Space::kUser));
+  ASSERT_OK(grouped->CreateTable("t", {{"x", ColumnType::Int()}},
+                                 Space::kUser));
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_OK(every->InsertRow("t", {Datum::Int(i)}));
+    ASSERT_OK(grouped->InsertRow("t", {Datum::Int(i)}));
+  }
+  EXPECT_LT(grouped->wal()->sync_count(), every->wal()->sync_count());
+  // Group commit trades tail durability, not atomicity: after a crash the
+  // recovered database still holds a committed prefix.
+  grouped.reset();
+  media2.Crash();
+  auto recovered = Reopen(&media2);
+  ASSERT_OK(recovered.status());
+  auto rows = (*recovered)->ScanTable("t");
+  ASSERT_OK(rows.status());
+  EXPECT_LE(rows->size(), 16u);
+}
+
+TEST_F(RecoveryTest, TransientFsyncFailureFailsCommitButIsRetryable) {
+  SimulatedMedia media;
+  auto db = OpenFresh(&media);
+  ASSERT_OK(RunTxn(db.get(), 0));
+  media.ArmFault(SimulatedMedia::FaultMode::kFsyncFailOnce, 0);
+  EXPECT_FALSE(RunTxn(db.get(), 1).ok());
+  // The failed transaction rolled back in-process...
+  EXPECT_EQ(SpecimenIds(db.get()), kExpectedIds[1]);
+  // ...and the device recovered, so the retry commits.
+  ASSERT_OK(RunTxn(db.get(), 1));
+  EXPECT_EQ(SpecimenIds(db.get()), kExpectedIds[2]);
+}
+
+// ----------------------------------------------------------- Crash matrix.
+//
+// Sweep every write index of the workload under every fault mode. For
+// each cell: run the workload until the fault stops it, pull the plug,
+// recover, and require that the database holds exactly the prefix of
+// transactions whose Commit() returned OK — logically (row contents) and
+// physically (byte-identical durable pages against a fault-free reference
+// run of the same prefix). Then crash and recover a second time to check
+// recovery is idempotent.
+
+class CrashMatrixTest : public RecoveryTest {
+ protected:
+  // Durable page state of a fault-free run of the first `prefix` steps,
+  // checkpointed.
+  std::vector<std::vector<uint8_t>> ReferencePages(int prefix) {
+    SimulatedMedia media;
+    auto db = OpenFresh(&media);
+    for (int step = 0; step < prefix; ++step) {
+      Status s = RunTxn(db.get(), step);
+      EXPECT_OK(s);
+    }
+    Status ckpt = db->Checkpoint();
+    EXPECT_OK(ckpt);
+    return DurablePages(media);
+  }
+
+  void RunMatrix(SimulatedMedia::FaultMode mode) {
+    // Measure the write-index space on a clean run.
+    uint64_t total_writes;
+    {
+      SimulatedMedia media;
+      auto db = OpenFresh(&media);
+      media.ArmFault(SimulatedMedia::FaultMode::kNone, 0);
+      for (int step = 0; step < kSteps; ++step) {
+        ASSERT_OK(RunTxn(db.get(), step));
+      }
+      total_writes = media.write_count();
+    }
+    ASSERT_GT(total_writes, 0u);
+
+    std::map<int, std::vector<std::vector<uint8_t>>> reference;
+    for (int j = 0; j <= kSteps; ++j) reference[j] = ReferencePages(j);
+
+    // fault_at == total_writes is the no-fault control cell.
+    for (uint64_t fault_at = 0; fault_at <= total_writes; ++fault_at) {
+      SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)) +
+                   " fault_at=" + std::to_string(fault_at));
+      SimulatedMedia media;
+      auto db = OpenFresh(&media);
+      media.ArmFault(mode, fault_at);
+
+      int committed = 0;
+      for (int step = 0; step < kSteps; ++step) {
+        if (!RunTxn(db.get(), step).ok()) break;
+        ++committed;
+      }
+      db.reset();
+      media.Crash();
+
+      for (int round = 0; round < 2; ++round) {
+        auto recovered = Reopen(&media);
+        ASSERT_OK(recovered.status());
+        // Exactly the committed prefix: no lost committed transaction, no
+        // resurrected aborted one.
+        EXPECT_EQ(SpecimenIds(recovered->get()), kExpectedIds[committed]);
+        // Byte-level: the durable pages equal the fault-free reference.
+        EXPECT_EQ(DurablePages(media), reference[committed]);
+        recovered->reset();
+        media.Crash();
+      }
+    }
+  }
+};
+
+TEST_F(CrashMatrixTest, KillAtEveryWriteIndex) {
+  RunMatrix(SimulatedMedia::FaultMode::kKill);
+}
+
+TEST_F(CrashMatrixTest, TornWriteAtEveryWriteIndex) {
+  RunMatrix(SimulatedMedia::FaultMode::kTorn);
+}
+
+TEST_F(CrashMatrixTest, FsyncFailureAtEveryWriteIndex) {
+  RunMatrix(SimulatedMedia::FaultMode::kFsyncFail);
+}
+
+}  // namespace
+}  // namespace genalg::udb
