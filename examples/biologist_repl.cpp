@@ -89,13 +89,17 @@ void RunAlign(genalg::udb::Database* db, const std::string& a,
 }
 
 void RunQuery(genalg::udb::Database* db, const std::string& line) {
-  auto sql = genalg::bql::TranslateBql(line);
+  // RunBql handles the optional `profile` prefix; translate the bare
+  // query here only to echo the SQL it compiles to.
+  std::string bare = line;
+  if (bare.rfind("profile ", 0) == 0) bare = bare.substr(8);
+  auto sql = genalg::bql::TranslateBql(bare);
   if (!sql.ok()) {
     std::printf("  ?? %s\n", sql.status().ToString().c_str());
     return;
   }
   std::printf("  [sql] %s\n", sql->c_str());
-  auto result = db->Execute(*sql);
+  auto result = genalg::bql::RunBql(db, line);
   if (!result.ok()) {
     std::printf("  !! %s\n", result.status().ToString().c_str());
     return;
@@ -145,7 +149,8 @@ int main(int argc, char** argv) {
       "Try:  find sequences containing ATTGCCATA\n"
       "      count sequences with gc above 0.5\n"
       "      show length of sequences first 5\n"
-      "      find features of <accession>\n\n");
+      "      find features of <accession>\n"
+      "      profile find sequences containing ATTGCCATA\n\n");
 
   if (demo) {
     const char* script[] = {
@@ -154,6 +159,7 @@ int main(int argc, char** argv) {
         "show gc of sequences first 5",
         "find sequences with length above 600 first 5",
         "show organism of sequences first 3",
+        "profile count sequences with gc above 0.5",
     };
     for (const char* line : script) {
       std::printf("bql> %s\n", line);

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace genalg::align {
 
 namespace {
@@ -410,6 +412,11 @@ Result<ResemblesOutcome> ResemblesScreened(std::string_view a,
           BandedLocalAlignScore(a, b, scoring, gaps, diagonal_hint,
                                 kHintBandWidth, scratch));
       reachable = banded >= floor;
+      if (reachable) {
+        static obs::Counter* band_hits =
+            obs::Registry::Global().GetCounter("align.resembles.band_hits");
+        band_hits->Increment();
+      }
     }
     if (!reachable) {
       GENALG_ASSIGN_OR_RETURN(
@@ -419,6 +426,9 @@ Result<ResemblesOutcome> ResemblesScreened(std::string_view a,
   }
   // The screen could not refute the predicate: one full DP, answered
   // from the alignment exactly as the slow path always did.
+  static obs::Counter* confirm_dps =
+      obs::Registry::Global().GetCounter("align.resembles.confirm_dps");
+  confirm_dps->Increment();
   GENALG_ASSIGN_OR_RETURN(Alignment best,
                           LocalAlign(a, b, scoring, gaps, scratch));
   if (best.Length() < min_overlap) return out;

@@ -4,10 +4,28 @@
 #include <cmath>
 
 #include "align/aligner.h"
+#include "obs/metrics.h"
 
 namespace genalg::align {
 
 namespace {
+
+// Cell counts are accumulated per kernel invocation (rows completed x
+// width), not per cell, so the inner loops stay untouched.
+struct KernelMetrics {
+  obs::Counter* cells;
+  obs::Counter* early_exits;
+  obs::Counter* full_dp_fallbacks;
+};
+
+const KernelMetrics& Metrics() {
+  static const KernelMetrics m = {
+      obs::Registry::Global().GetCounter("align.kernel.cells"),
+      obs::Registry::Global().GetCounter("align.kernel.early_exits"),
+      obs::Registry::Global().GetCounter("align.kernel.full_dp_fallbacks"),
+  };
+  return m;
+}
 
 // Small enough that sentinel arithmetic (adding scores or gap costs to an
 // unreachable cell) can never wrap.
@@ -94,6 +112,8 @@ int32_t LocalScoreCore(const ScoringProfile& profile,
     if (threshold != nullptr) {
       if (best >= *threshold) {
         *reached = true;
+        Metrics().cells->Add(i * cols);
+        if (i < rows) Metrics().early_exits->Increment();
         return best;
       }
       // Any alignment not already counted either crosses this row —
@@ -104,10 +124,13 @@ int32_t LocalScoreCore(const ScoringProfile& profile,
                         static_cast<int64_t>(rows - i) * pos_gain;
       if (ceiling < *threshold) {
         *reached = false;
+        Metrics().cells->Add(i * cols);
+        if (i < rows) Metrics().early_exits->Increment();
         return best;
       }
     }
   }
+  Metrics().cells->Add(rows * cols);
   if (reached != nullptr) {
     *reached = threshold != nullptr && best >= *threshold;
   }
@@ -158,6 +181,7 @@ int32_t GlobalScoreCore(const ScoringProfile& profile,
       y_left = yv;
     }
   }
+  Metrics().cells->Add(rows * cols);
   return rbest[cols];
 }
 
@@ -225,6 +249,7 @@ int32_t BandedLocalCore(const ScoringProfile& profile,
       y_left = yv;
     }
   }
+  Metrics().cells->Add(rows * width);
   return best;
 }
 
@@ -271,6 +296,7 @@ Result<int64_t> LocalAlignScore(std::string_view a, std::string_view b,
   if (scratch == nullptr) scratch = &local;
   ScoringProfile profile(scoring);
   if (!FitsInt32(a.size(), b.size(), profile, gaps)) {
+    Metrics().full_dp_fallbacks->Increment();
     GENALG_ASSIGN_OR_RETURN(Alignment full,
                             LocalAlign(a, b, scoring, gaps));
     return full.score;
@@ -295,6 +321,7 @@ Result<int64_t> GlobalAlignScore(std::string_view a, std::string_view b,
   if (scratch == nullptr) scratch = &local;
   ScoringProfile profile(scoring);
   if (!FitsInt32(a.size(), b.size(), profile, gaps)) {
+    Metrics().full_dp_fallbacks->Increment();
     GENALG_ASSIGN_OR_RETURN(Alignment full,
                             GlobalAlign(a, b, scoring, gaps));
     return full.score;
@@ -318,6 +345,7 @@ Result<int64_t> BandedLocalAlignScore(std::string_view a, std::string_view b,
   if (scratch == nullptr) scratch = &local;
   ScoringProfile profile(scoring);
   if (!FitsInt32(a.size(), b.size(), profile, gaps)) {
+    Metrics().full_dp_fallbacks->Increment();
     GENALG_ASSIGN_OR_RETURN(Alignment full,
                             LocalAlign(a, b, scoring, gaps));
     return full.score;
@@ -343,6 +371,7 @@ Result<bool> LocalScoreReaches(std::string_view a, std::string_view b,
   if (scratch == nullptr) scratch = &local;
   ScoringProfile profile(scoring);
   if (!FitsInt32(a.size(), b.size(), profile, gaps)) {
+    Metrics().full_dp_fallbacks->Increment();
     GENALG_ASSIGN_OR_RETURN(Alignment full,
                             LocalAlign(a, b, scoring, gaps));
     return full.score >= threshold;

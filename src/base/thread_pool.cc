@@ -1,10 +1,38 @@
 #include "base/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace genalg {
+
+namespace {
+
+// Metric pointers resolved once; the hot path then touches only relaxed
+// atomics. base.pool.* per DESIGN.md naming.
+struct PoolMetrics {
+  obs::Counter* tasks_submitted;
+  obs::Counter* tasks_executed;
+  obs::Counter* busy_us;
+  obs::Counter* grain_clamped;
+  obs::Gauge* queue_depth;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics m = {
+      obs::Registry::Global().GetCounter("base.pool.tasks_submitted"),
+      obs::Registry::Global().GetCounter("base.pool.tasks_executed"),
+      obs::Registry::Global().GetCounter("base.pool.busy_us"),
+      obs::Registry::Global().GetCounter("base.pool.grain_clamped"),
+      obs::Registry::Global().GetGauge("base.pool.queue_depth"),
+  };
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads)
     : threads_(threads == 0 ? DefaultThreadCount() : threads) {
@@ -35,19 +63,29 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    Metrics().queue_depth->Sub(1);
+    auto start = std::chrono::steady_clock::now();
     task();
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    Metrics().busy_us->Add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    Metrics().tasks_executed->Increment();
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Metrics().tasks_submitted->Increment();
   if (workers_.empty()) {
     task();
+    Metrics().tasks_executed->Increment();
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
   }
+  Metrics().queue_depth->Add(1);
   wake_.notify_one();
 }
 
@@ -55,7 +93,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
                              const std::function<void(size_t, size_t)>&
                                  body) {
   if (begin >= end) return;
-  if (grain == 0) grain = 1;
+  if (grain == 0) {
+    // A grain of 0 would make the chunk-count division degenerate; clamp
+    // to 1 and record that a caller passed a nonsense grain.
+    Metrics().grain_clamped->Increment();
+    grain = 1;
+  }
   const size_t chunks = (end - begin + grain - 1) / grain;
   if (workers_.empty() || chunks == 1) {
     for (size_t c = 0; c < chunks; ++c) {
@@ -105,6 +148,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t i = 0; i < helpers; ++i) queue_.push_back(run_chunks);
   }
+  Metrics().tasks_submitted->Add(helpers);
+  Metrics().queue_depth->Add(static_cast<int64_t>(helpers));
   wake_.notify_all();
   run_chunks();  // The caller works too.
   {

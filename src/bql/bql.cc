@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/strings.h"
+#include "obs/metrics.h"
 #include "seq/nucleotide_sequence.h"
 
 namespace genalg::bql {
@@ -252,7 +253,41 @@ Result<std::string> TranslateBql(std::string_view text) {
   return query.Compile();
 }
 
+namespace {
+
+// True when `text` starts with the (case-insensitive) keyword `word`
+// followed by whitespace; strips the keyword and leading blanks from
+// `text` on a match.
+bool ConsumeKeyword(std::string_view* text, std::string_view word) {
+  while (!text->empty() && std::isspace(static_cast<unsigned char>(
+                               text->front()))) {
+    text->remove_prefix(1);
+  }
+  if (text->size() <= word.size()) return false;
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>((*text)[i])) != word[i]) {
+      return false;
+    }
+  }
+  if (!std::isspace(static_cast<unsigned char>((*text)[word.size()]))) {
+    return false;
+  }
+  text->remove_prefix(word.size());
+  return true;
+}
+
+}  // namespace
+
 Result<udb::QueryResult> RunBql(udb::Database* db, std::string_view text) {
+  obs::Registry::Global().GetCounter("bql.queries")->Increment();
+  // PROFILE <query>: run the query under a span collector and return its
+  // operator tree (per-operator wall time and row counts) instead of the
+  // query's rows.
+  if (ConsumeKeyword(&text, "profile")) {
+    obs::Registry::Global().GetCounter("bql.profiles")->Increment();
+    GENALG_ASSIGN_OR_RETURN(std::string sql, TranslateBql(text));
+    return db->Profile(sql);
+  }
   GENALG_ASSIGN_OR_RETURN(std::string sql, TranslateBql(text));
   return db->Execute(sql);
 }

@@ -7,6 +7,7 @@
 
 #include "align/aligner.h"
 #include "index/kmer_index.h"
+#include "obs/metrics.h"
 
 namespace genalg::etl {
 
@@ -97,6 +98,9 @@ Result<std::vector<ReconciledEntry>> Integrator::Reconcile(
       } else {
         // A genuine conflict: keep the alternative (C9).
         if (variants.insert(group[i].sequence.ToString()).second) {
+          obs::Registry::Global()
+              .GetCounter("etl.conflicts_reconciled")
+              ->Increment();
           entry.alternates.push_back(group[i]);
         }
         if (!group[i].source_db.empty() &&
@@ -200,6 +204,9 @@ Result<std::vector<ReconciledEntry>> Integrator::Reconcile(
                 ? combined.canonical.attributes["also_known_as"] + "," +
                       other.canonical.accession
                 : other.canonical.accession;
+        obs::Registry::Global()
+            .GetCounter("etl.conflicts_reconciled")
+            ->Increment();
         combined.alternates.push_back(other.canonical);
         for (auto& alt : other.alternates) {
           combined.alternates.push_back(std::move(alt));

@@ -1,6 +1,34 @@
 #include "etl/pipeline.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace genalg::etl {
+
+namespace {
+
+struct EtlMetrics {
+  obs::Counter* deltas_detected;
+  obs::Counter* deltas_applied;
+  obs::Counter* deltas_retried;
+  obs::Counter* retry_rounds;
+  obs::Counter* commit_failures;
+  obs::Counter* records_extracted;
+};
+
+const EtlMetrics& Metrics() {
+  static const EtlMetrics m = {
+      obs::Registry::Global().GetCounter("etl.deltas_detected"),
+      obs::Registry::Global().GetCounter("etl.deltas_applied"),
+      obs::Registry::Global().GetCounter("etl.deltas_retried"),
+      obs::Registry::Global().GetCounter("etl.retry_rounds"),
+      obs::Registry::Global().GetCounter("etl.commit_failures"),
+      obs::Registry::Global().GetCounter("etl.records_extracted"),
+  };
+  return m;
+}
+
+}  // namespace
 
 Status EtlPipeline::AddSource(SyntheticSource* source) {
   GENALG_ASSIGN_OR_RETURN(std::unique_ptr<SourceMonitor> monitor,
@@ -13,18 +41,29 @@ Status EtlPipeline::AddSource(SyntheticSource* source) {
 }
 
 std::vector<formats::SequenceRecord> EtlPipeline::ExtractAll() {
+  obs::Span extract_span("etl.extract");
   // One task per source: each extract reads only its own repository, and
   // each task writes only its own slot, so the fan-out is race-free.
+  // Spans are thread-local, so with a pool larger than 1 the per-source
+  // spans land on worker threads as separate roots; only with an inline
+  // (size-1) pool do they nest under this extract span.
   ThreadPool* pool = pool_ != nullptr ? pool_ : ThreadPool::Global();
   std::vector<std::vector<formats::SequenceRecord>> extracted(
       sources_.size());
   pool->ParallelFor(0, sources_.size(), 1, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
+      obs::Span source_span("etl.extract.source");
+      source_span.SetAttr("source", sources_[i]->name());
       extracted[i] = sources_[i]->AllRecords();
+      source_span.SetAttr("rows",
+                          static_cast<uint64_t>(extracted[i].size()));
     }
   });
   size_t total = 0;
   for (const auto& batch : extracted) total += batch.size();
+  Metrics().records_extracted->Add(total);
+  extract_span.SetAttr("sources", static_cast<uint64_t>(sources_.size()));
+  extract_span.SetAttr("rows", static_cast<uint64_t>(total));
   std::vector<formats::SequenceRecord> all;
   all.reserve(total);
   for (auto& batch : extracted) {
@@ -45,23 +84,46 @@ Status EtlPipeline::InitialLoad() {
 }
 
 Result<EtlPipeline::RoundStats> EtlPipeline::RunOnce() {
+  obs::Span refresh_span("etl.refresh");
   RoundStats stats;
+  // A non-empty retry buffer means a previous round's commit failed and
+  // its deltas are going around again.
+  if (!pending_.empty()) {
+    Metrics().retry_rounds->Increment();
+    Metrics().deltas_retried->Add(pending_.size());
+    refresh_span.SetAttr("retried", static_cast<uint64_t>(pending_.size()));
+  }
   // Drain the monitors into the retry buffer first: Poll() is
   // irreversible, so deltas a crashed round failed to apply must survive
   // for the next round.
-  for (auto& monitor : monitors_) {
-    GENALG_ASSIGN_OR_RETURN(std::vector<Delta> deltas, monitor->Poll());
-    stats.deltas_detected += deltas.size();
-    for (Delta& delta : deltas) pending_.push_back(std::move(delta));
+  {
+    obs::Span poll_span("etl.poll");
+    for (auto& monitor : monitors_) {
+      GENALG_ASSIGN_OR_RETURN(std::vector<Delta> deltas, monitor->Poll());
+      stats.deltas_detected += deltas.size();
+      for (Delta& delta : deltas) pending_.push_back(std::move(delta));
+    }
+    poll_span.SetAttr("rows", stats.deltas_detected);
+    Metrics().deltas_detected->Add(stats.deltas_detected);
   }
   // The whole maintenance round is one transaction: either every pending
   // delta lands or the warehouse (database + staging image) stays at the
   // previous consistent snapshot and the deltas remain pending.
-  GENALG_RETURN_IF_ERROR(warehouse_->RunInTransaction([&]() -> Status {
-    return warehouse_->ApplyDeltas(pending_);
-  }));
+  {
+    obs::Span apply_span("etl.apply");
+    apply_span.SetAttr("rows", static_cast<uint64_t>(pending_.size()));
+    Status applied = warehouse_->RunInTransaction([&]() -> Status {
+      return warehouse_->ApplyDeltas(pending_);
+    });
+    if (!applied.ok()) {
+      Metrics().commit_failures->Increment();
+      return applied;
+    }
+  }
+  Metrics().deltas_applied->Add(pending_.size());
   stats.deltas_applied = pending_.size();
   pending_.clear();
+  refresh_span.SetAttr("rows", stats.deltas_applied);
   return stats;
 }
 

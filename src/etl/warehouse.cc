@@ -5,6 +5,8 @@
 #include "formats/genalgxml.h"
 #include "gdt/feature.h"
 #include "gdt/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace genalg::etl {
 
@@ -142,8 +144,17 @@ Status Warehouse::LoadBatchImpl(std::vector<SequenceRecord> records) {
   for (const SequenceRecord& r : records) {
     staging_[r.accession][r.source_db] = r;
   }
-  GENALG_ASSIGN_OR_RETURN(std::vector<ReconciledEntry> entries,
-                          integrator_.Reconcile(std::move(records)));
+  std::vector<ReconciledEntry> entries;
+  {
+    obs::Span transform_span("etl.transform");
+    transform_span.SetAttr("rows", static_cast<uint64_t>(records.size()));
+    GENALG_ASSIGN_OR_RETURN(entries,
+                            integrator_.Reconcile(std::move(records)));
+    transform_span.SetAttr("entries",
+                           static_cast<uint64_t>(entries.size()));
+  }
+  obs::Span load_span("etl.load");
+  load_span.SetAttr("rows", static_cast<uint64_t>(entries.size()));
   for (const ReconciledEntry& entry : entries) {
     GENALG_RETURN_IF_ERROR(
         DeleteAccessionRows(entry.canonical.accession));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.h"
+
 namespace genalg::index {
 
 namespace {
@@ -154,11 +156,17 @@ Result<KmerIndex> KmerIndex::Build(
 
 std::pair<const KmerIndex::Posting*, const KmerIndex::Posting*>
 KmerIndex::Postings(uint64_t packed) const {
+  static obs::Counter* lookups =
+      obs::Registry::Global().GetCounter("index.kmer.lookups");
+  static obs::Counter* scanned =
+      obs::Registry::Global().GetCounter("index.kmer.postings_scanned");
+  lookups->Increment();
   auto it = std::lower_bound(keys_.begin(), keys_.end(), packed);
   if (it == keys_.end() || *it != packed) {
     return {nullptr, nullptr};
   }
   size_t i = static_cast<size_t>(it - keys_.begin());
+  scanned->Add(offsets_[i + 1] - offsets_[i]);
   return {postings_.data() + offsets_[i], postings_.data() + offsets_[i + 1]};
 }
 

@@ -3,6 +3,8 @@
 #include "align/aligner.h"
 #include "gdt/ops.h"
 #include "index/kmer_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace genalg::mediator {
 
@@ -14,6 +16,19 @@ namespace {
 // k-mer is a meaningful diagonal signal, short enough to survive ~80%
 // identity.
 constexpr size_t kSeedKmer = 12;
+
+struct MediatorMetrics {
+  obs::Counter* queries;
+  obs::Counter* records_shipped;
+};
+
+const MediatorMetrics& Metrics() {
+  static const MediatorMetrics m = {
+      obs::Registry::Global().GetCounter("mediator.queries"),
+      obs::Registry::Global().GetCounter("mediator.records_shipped"),
+  };
+  return m;
+}
 
 }  // namespace
 
@@ -35,6 +50,7 @@ Result<std::vector<SequenceRecord>> SourceWrapper::ExtractAll() {
                                                  snapshot));
   }
   records_shipped_ += out.size();
+  Metrics().records_shipped->Add(out.size());
   return out;
 }
 
@@ -44,6 +60,7 @@ Result<std::optional<SequenceRecord>> SourceWrapper::FindByAccession(
     auto record = source_->Query(accession);
     if (record.ok()) {
       ++records_shipped_;
+      Metrics().records_shipped->Increment();
       return std::optional<SequenceRecord>(std::move(*record));
     }
     if (record.status().IsNotFound()) {
@@ -62,6 +79,7 @@ Result<std::optional<SequenceRecord>> SourceWrapper::FindByAccession(
 
 Result<std::vector<SequenceRecord>> Mediator::FindByOrganism(
     const std::string& organism) {
+  Metrics().queries->Increment();
   std::vector<SequenceRecord> out;
   for (SourceWrapper& wrapper : wrappers_) {
     GENALG_ASSIGN_OR_RETURN(std::vector<SequenceRecord> shipped,
@@ -75,6 +93,7 @@ Result<std::vector<SequenceRecord>> Mediator::FindByOrganism(
 
 Result<std::vector<SequenceRecord>> Mediator::FindContaining(
     const seq::NucleotideSequence& pattern) {
+  Metrics().queries->Increment();
   std::vector<SequenceRecord> out;
   for (SourceWrapper& wrapper : wrappers_) {
     GENALG_ASSIGN_OR_RETURN(std::vector<SequenceRecord> shipped,
@@ -91,6 +110,8 @@ Result<std::vector<SequenceRecord>> Mediator::FindContaining(
 Result<std::vector<Mediator::SimilarityHit>> Mediator::SimilarTo(
     const seq::NucleotideSequence& query, double min_identity,
     size_t min_overlap) {
+  Metrics().queries->Increment();
+  obs::Span similar_span("mediator.similar_to");
   std::vector<SimilarityHit> hits;
   for (SourceWrapper& wrapper : wrappers_) {
     GENALG_ASSIGN_OR_RETURN(std::vector<SequenceRecord> shipped,
@@ -135,11 +156,14 @@ Result<std::vector<Mediator::SimilarityHit>> Mediator::SimilarTo(
             [](const SimilarityHit& a, const SimilarityHit& b) {
               return a.score > b.score;
             });
+  similar_span.SetAttr("sources", static_cast<uint64_t>(wrappers_.size()));
+  similar_span.SetAttr("rows", static_cast<uint64_t>(hits.size()));
   return hits;
 }
 
 Result<SequenceRecord> Mediator::GetByAccession(
     const std::string& accession) {
+  Metrics().queries->Increment();
   for (SourceWrapper& wrapper : wrappers_) {
     GENALG_ASSIGN_OR_RETURN(std::optional<SequenceRecord> record,
                             wrapper.FindByAccession(accession));
@@ -150,6 +174,7 @@ Result<SequenceRecord> Mediator::GetByAccession(
 
 Result<std::vector<SequenceRecord>> Mediator::GetAllVersions(
     const std::string& accession) {
+  Metrics().queries->Increment();
   std::vector<SequenceRecord> out;
   for (SourceWrapper& wrapper : wrappers_) {
     GENALG_ASSIGN_OR_RETURN(std::optional<SequenceRecord> record,

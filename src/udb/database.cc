@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 
 #include "base/strings.h"
 #include "index/kmer_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "udb/sql_parser.h"
 
 namespace genalg::udb {
@@ -733,17 +736,21 @@ class Database::Executor {
     // Bind tables.
     std::vector<TableData*> tables;
     Env env;
-    size_t offset = 0;
-    std::set<std::string> aliases;
-    for (const TableRef& ref : stmt.tables) {
-      GENALG_ASSIGN_OR_RETURN(TableData * table, db_->GetTable(ref.name));
-      if (!aliases.insert(ref.alias).second) {
-        return Status::InvalidArgument("duplicate table alias '" +
-                                       ref.alias + "'");
+    {
+      obs::Span bind_span("bind");
+      size_t offset = 0;
+      std::set<std::string> aliases;
+      for (const TableRef& ref : stmt.tables) {
+        GENALG_ASSIGN_OR_RETURN(TableData * table, db_->GetTable(ref.name));
+        if (!aliases.insert(ref.alias).second) {
+          return Status::InvalidArgument("duplicate table alias '" +
+                                         ref.alias + "'");
+        }
+        tables.push_back(table);
+        env.bindings.push_back(Binding{ref.alias, &table->schema, offset});
+        offset += table->schema.columns.size();
       }
-      tables.push_back(table);
-      env.bindings.push_back(Binding{ref.alias, &table->schema, offset});
-      offset += table->schema.columns.size();
+      bind_span.SetAttr("tables", static_cast<uint64_t>(tables.size()));
     }
     if (tables.empty()) {
       return Status::InvalidArgument("SELECT needs a FROM clause");
@@ -753,6 +760,8 @@ class Database::Executor {
     // index path).
     std::vector<std::vector<Row>> table_rows(tables.size());
     for (size_t i = 0; i < tables.size(); ++i) {
+      obs::Span scan_span("scan");
+      scan_span.SetAttr("table", stmt.tables[i].name);
       bool used_index = false;
       if (i == 0 && tables.size() == 1 && stmt.where != nullptr) {
         GENALG_ASSIGN_OR_RETURN(
@@ -762,46 +771,58 @@ class Database::Executor {
       if (!used_index) {
         GENALG_RETURN_IF_ERROR(FullScan(tables[i], &table_rows[i]));
       }
-    }
-
-    // The Sec. 6.5 predicate-ordering rule: evaluate WHERE conjuncts
-    // cheapest-first (native comparisons, then genomic accessors, pattern
-    // scans, alignment) so expensive operators see the fewest rows.
-    std::vector<const Expr*> conjuncts;
-    SplitConjuncts(stmt.where.get(), &conjuncts);
-    if (db_->predicate_reordering_) {
-      std::stable_sort(conjuncts.begin(), conjuncts.end(),
-                       [](const Expr* a, const Expr* b) {
-                         return ExprCostRank(*a) < ExprCostRank(*b);
-                       });
+      scan_span.SetAttr("access", used_index ? "index" : "seq");
+      scan_span.SetAttr("rows",
+                        static_cast<uint64_t>(table_rows[i].size()));
     }
 
     // Cross product + WHERE.
     std::vector<Row> combined;
-    std::vector<size_t> cursor(tables.size(), 0);
-    Row current;
-    Status error = Status::OK();
-    std::function<Status(size_t)> recurse =
-        [&](size_t depth) -> Status {
-      if (depth == tables.size()) {
-        for (const Expr* conjunct : conjuncts) {
-          GENALG_ASSIGN_OR_RETURN(bool keep,
-                                  EvalBool(*conjunct, current, env));
-          if (!keep) return Status::OK();
+    {
+      obs::Span filter_span("filter");
+      uint64_t rows_in = 0;
+
+      // The Sec. 6.5 predicate-ordering rule: evaluate WHERE conjuncts
+      // cheapest-first (native comparisons, then genomic accessors,
+      // pattern scans, alignment) so expensive operators see the fewest
+      // rows.
+      std::vector<const Expr*> conjuncts;
+      SplitConjuncts(stmt.where.get(), &conjuncts);
+      if (db_->predicate_reordering_) {
+        std::stable_sort(conjuncts.begin(), conjuncts.end(),
+                         [](const Expr* a, const Expr* b) {
+                           return ExprCostRank(*a) < ExprCostRank(*b);
+                         });
+      }
+
+      Row current;
+      std::function<Status(size_t)> recurse =
+          [&](size_t depth) -> Status {
+        if (depth == tables.size()) {
+          ++rows_in;
+          for (const Expr* conjunct : conjuncts) {
+            GENALG_ASSIGN_OR_RETURN(bool keep,
+                                    EvalBool(*conjunct, current, env));
+            if (!keep) return Status::OK();
+          }
+          combined.push_back(current);
+          return Status::OK();
         }
-        combined.push_back(current);
+        for (const Row& row : table_rows[depth]) {
+          size_t before = current.size();
+          current.insert(current.end(), row.begin(), row.end());
+          Status s = recurse(depth + 1);
+          current.resize(before);
+          GENALG_RETURN_IF_ERROR(s);
+        }
         return Status::OK();
-      }
-      for (const Row& row : table_rows[depth]) {
-        size_t before = current.size();
-        current.insert(current.end(), row.begin(), row.end());
-        Status s = recurse(depth + 1);
-        current.resize(before);
-        GENALG_RETURN_IF_ERROR(s);
-      }
-      return Status::OK();
-    };
-    GENALG_RETURN_IF_ERROR(recurse(0));
+      };
+      GENALG_RETURN_IF_ERROR(recurse(0));
+      filter_span.SetAttr("conjuncts",
+                          static_cast<uint64_t>(conjuncts.size()));
+      filter_span.SetAttr("rows_in", rows_in);
+      filter_span.SetAttr("rows", static_cast<uint64_t>(combined.size()));
+    }
 
     // Output expressions.
     std::vector<const Expr*> out_exprs;
@@ -854,6 +875,7 @@ class Database::Executor {
     result.columns = out_names;
 
     if (aggregated) {
+      obs::Span agg_span("aggregate");
       // Hash grouping on the GROUP BY keys (one global group if none).
       std::map<std::string, std::vector<Row>> groups;
       for (const Row& row : combined) {
@@ -885,11 +907,13 @@ class Database::Executor {
         }
         outs.push_back(std::move(out));
       }
-      GENALG_RETURN_IF_ERROR(SortByKeys(&outs, order_by));
+      GENALG_RETURN_IF_ERROR(TimedSort(&outs, order_by));
       for (GroupOut& out : outs) {
         result.rows.push_back(std::move(out.projected));
       }
+      agg_span.SetAttr("groups", static_cast<uint64_t>(result.rows.size()));
     } else {
+      obs::Span project_span("project");
       struct RowOut {
         Row projected;
         std::vector<Datum> order_keys;
@@ -907,13 +931,16 @@ class Database::Executor {
         }
         outs.push_back(std::move(out));
       }
-      GENALG_RETURN_IF_ERROR(SortByKeys(&outs, order_by));
+      GENALG_RETURN_IF_ERROR(TimedSort(&outs, order_by));
       for (RowOut& out : outs) {
         result.rows.push_back(std::move(out.projected));
       }
+      project_span.SetAttr("rows",
+                           static_cast<uint64_t>(result.rows.size()));
     }
 
     if (stmt.distinct) {
+      obs::Span distinct_span("distinct");
       std::set<std::string> seen;
       std::vector<Row> unique_rows;
       for (Row& row : result.rows) {
@@ -927,12 +954,29 @@ class Database::Executor {
         }
       }
       result.rows = std::move(unique_rows);
+      distinct_span.SetAttr("rows",
+                            static_cast<uint64_t>(result.rows.size()));
     }
     if (stmt.limit >= 0 &&
         result.rows.size() > static_cast<size_t>(stmt.limit)) {
+      obs::Span limit_span("limit");
       result.rows.resize(static_cast<size_t>(stmt.limit));
+      limit_span.SetAttr("rows",
+                         static_cast<uint64_t>(result.rows.size()));
     }
     return result;
+  }
+
+  // SortByKeys under a "sort" span when an ORDER BY is present (a sort
+  // over no keys is a no-op and gets no operator node).
+  template <typename T>
+  Status TimedSort(
+      std::vector<T>* outs,
+      const std::vector<std::pair<const Expr*, bool>>& order_by) {
+    if (order_by.empty()) return Status::OK();
+    obs::Span sort_span("sort");
+    sort_span.SetAttr("rows", static_cast<uint64_t>(outs->size()));
+    return SortByKeys(outs, order_by);
   }
 
   template <typename T>
@@ -1216,17 +1260,81 @@ class Database::Executor {
 
 Result<QueryResult> Database::Execute(std::string_view sql,
                                       bool privileged) {
+  obs::Registry::Global().GetCounter("udb.sql.statements")->Increment();
+  obs::Span exec_span("execute");
+  exec_span.SetAttr("sql", sql);
   last_rows_scanned_ = 0;
-  GENALG_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  Result<Statement> stmt = [&]() -> Result<Statement> {
+    obs::Span parse_span("parse");
+    return ParseSql(sql);
+  }();
+  GENALG_RETURN_IF_ERROR(stmt.status());
   Executor executor(this, privileged);
-  if (std::holds_alternative<SelectStmt>(stmt)) {
-    return executor.Run(stmt);  // Read-only: no transaction needed.
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (std::holds_alternative<SelectStmt>(*stmt)) {
+      return executor.Run(*stmt);  // Read-only: no transaction needed.
+    }
+    GENALG_ASSIGN_OR_RETURN(bool implicit, MaybeBeginImplicit());
+    Result<QueryResult> r = executor.Run(*stmt);
+    Status ended = EndImplicit(implicit, r.status());
+    GENALG_RETURN_IF_ERROR(ended);
+    return r;
+  }();
+  if (result.ok()) {
+    exec_span.SetAttr("rows", static_cast<uint64_t>(result->rows.size()));
   }
-  GENALG_ASSIGN_OR_RETURN(bool implicit, MaybeBeginImplicit());
-  Result<QueryResult> result = executor.Run(stmt);
-  Status ended = EndImplicit(implicit, result.status());
-  GENALG_RETURN_IF_ERROR(ended);
   return result;
+}
+
+namespace {
+
+// One PROFILE output row per span node; tree depth becomes indentation in
+// the operator column.
+void AppendProfileRows(const obs::SpanNode& node, int depth,
+                       QueryResult* out) {
+  Row row;
+  row.push_back(
+      Datum::String(std::string(static_cast<size_t>(depth) * 2, ' ') +
+                    node.name));
+  row.push_back(
+      Datum::Real(static_cast<double>(node.duration_ns) / 1e3));
+  std::string rows_attr(node.attr("rows"));
+  row.push_back(rows_attr.empty()
+                    ? Datum::Null()
+                    : Datum::Int(std::strtoll(rows_attr.c_str(), nullptr,
+                                              10)));
+  std::string detail;
+  for (const auto& [key, value] : node.attrs) {
+    if (key == "rows" || key == "sql") continue;
+    if (!detail.empty()) detail += ' ';
+    detail += key;
+    detail += '=';
+    detail += value;
+  }
+  row.push_back(Datum::String(std::move(detail)));
+  out->rows.push_back(std::move(row));
+  for (const auto& child : node.children) {
+    AppendProfileRows(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<QueryResult> Database::Profile(std::string_view sql,
+                                      bool privileged) {
+  // Collect the span trees rooted during this statement on this thread;
+  // the collector also masks any enclosing span so the "execute" root
+  // lands here rather than in an outer trace.
+  obs::SpanCollector collector;
+  GENALG_ASSIGN_OR_RETURN(QueryResult executed, Execute(sql, privileged));
+  QueryResult profile;
+  profile.columns = {"operator", "time_us", "rows", "detail"};
+  for (const auto& root : collector.roots()) {
+    AppendProfileRows(*root, 0, &profile);
+  }
+  profile.message = "profiled: " + std::to_string(executed.rows.size()) +
+                    " result rows";
+  return profile;
 }
 
 namespace {
@@ -1385,6 +1493,7 @@ Status Database::Begin() {
   GENALG_RETURN_IF_ERROR(pool_->BeginTracking());
   current_txn_ = next_txn_++;
   in_txn_ = true;
+  obs::Registry::Global().GetCounter("udb.txn.begun")->Increment();
   if (wal_ != nullptr) {
     Status s = wal_->AppendBegin(current_txn_);
     if (!s.ok()) {
@@ -1419,6 +1528,7 @@ Status Database::Commit() {
   pool_->EndTracking();
   in_txn_ = false;
   txn_catalog_snapshot_.clear();
+  obs::Registry::Global().GetCounter("udb.txn.committed")->Increment();
   return Status::OK();
 }
 
@@ -1430,6 +1540,7 @@ Status Database::Abort() {
     (void)wal_->AppendAbort(current_txn_);  // Advisory; may fail mid-crash.
   }
   in_txn_ = false;
+  obs::Registry::Global().GetCounter("udb.txn.aborted")->Increment();
   GENALG_RETURN_IF_ERROR(pool_->DiscardTracked());
   Status restored = LoadCatalogBlob(txn_catalog_snapshot_);
   txn_catalog_snapshot_.clear();

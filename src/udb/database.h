@@ -79,6 +79,14 @@ class Database {
   /// genomic operators, alignment last).
   Result<std::string> Explain(std::string_view sql);
 
+  /// Runs the statement with a trace-span collector installed and returns
+  /// the resulting span tree as a table — one row per operator, columns
+  /// [operator, time_us, rows, detail] — instead of the query's own rows.
+  /// Tree depth is encoded as two-space indentation in `operator`; the
+  /// root "execute" row carries the statement's result-row count. This is
+  /// the engine behind BQL's `PROFILE <query>`.
+  Result<QueryResult> Profile(std::string_view sql, bool privileged = false);
+
   // ----------------------- Programmatic API (ETL, tests, benchmarks).
 
   Status CreateTable(const std::string& name,

@@ -6,7 +6,34 @@
 #include <cstring>
 #include <functional>
 
+#include "obs/metrics.h"
+
 namespace genalg::udb {
+
+namespace {
+
+// Global mirrors of the per-instance counters, so one snapshot can see
+// every pool/disk in the process. udb.* per DESIGN.md naming.
+struct StorageMetrics {
+  obs::Counter* pool_hits;
+  obs::Counter* pool_misses;
+  obs::Counter* pool_evictions;
+  obs::Counter* page_reads;
+  obs::Counter* page_writes;
+};
+
+const StorageMetrics& Metrics() {
+  static const StorageMetrics m = {
+      obs::Registry::Global().GetCounter("udb.pool.hits"),
+      obs::Registry::Global().GetCounter("udb.pool.misses"),
+      obs::Registry::Global().GetCounter("udb.pool.evictions"),
+      obs::Registry::Global().GetCounter("udb.disk.page_reads"),
+      obs::Registry::Global().GetCounter("udb.disk.page_writes"),
+  };
+  return m;
+}
+
+}  // namespace
 
 // ----------------------------------------------------------- DiskManager.
 
@@ -32,6 +59,7 @@ Status MemoryDiskManager::ReadPage(PageId id, uint8_t* out) {
                               " does not exist");
   }
   ++reads_;
+  Metrics().page_reads->Increment();
   std::memcpy(out, pages_[id].get(), kPageSize);
   return Status::OK();
 }
@@ -42,6 +70,7 @@ Status MemoryDiskManager::WritePage(PageId id, const uint8_t* data) {
                               " does not exist");
   }
   ++writes_;
+  Metrics().page_writes->Increment();
   std::memcpy(pages_[id].get(), data, kPageSize);
   return Status::OK();
 }
@@ -87,6 +116,7 @@ Status FileDiskManager::ReadPage(PageId id, uint8_t* out) {
                               " does not exist");
   }
   ++reads_;
+  Metrics().page_reads->Increment();
   if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
       std::fread(out, 1, kPageSize, file_) != kPageSize) {
     return Status::IoError("failed to read page " + std::to_string(id));
@@ -100,6 +130,7 @@ Status FileDiskManager::WritePage(PageId id, const uint8_t* data) {
                               " does not exist");
   }
   ++writes_;
+  Metrics().page_writes->Increment();
   if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
       std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
     return Status::IoError("failed to write page " + std::to_string(id));
@@ -145,6 +176,7 @@ Result<size_t> BufferPool::FindVictim() {
       GENALG_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
       frame.dirty = false;
     }
+    Metrics().pool_evictions->Increment();
     page_table_.erase(frame.id);
     return *it;
   }
@@ -155,12 +187,14 @@ Result<uint8_t*> BufferPool::FetchPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
+    Metrics().pool_hits->Increment();
     Frame& frame = frames_[it->second];
     ++frame.pin_count;
     TouchLru(it->second);
     return frame.data.get();
   }
   ++misses_;
+  Metrics().pool_misses->Increment();
   GENALG_ASSIGN_OR_RETURN(size_t victim, FindVictim());
   Frame& frame = frames_[victim];
   GENALG_RETURN_IF_ERROR(disk_->ReadPage(id, frame.data.get()));

@@ -7,7 +7,10 @@
 #include <map>
 #include <set>
 
+#include <chrono>
+
 #include "base/bytes.h"
+#include "obs/metrics.h"
 
 namespace genalg::udb {
 
@@ -124,6 +127,36 @@ Result<std::vector<uint8_t>> FileWalFile::ReadAll() {
 
 // ----------------------------------------------------------- WriteAheadLog.
 
+namespace {
+
+struct WalMetrics {
+  obs::Counter* records;
+  obs::Counter* bytes;
+  obs::Counter* fsyncs;
+  obs::Histogram* fsync_us;
+};
+
+const WalMetrics& Metrics() {
+  static const WalMetrics m = {
+      obs::Registry::Global().GetCounter("udb.wal.records"),
+      obs::Registry::Global().GetCounter("udb.wal.bytes"),
+      obs::Registry::Global().GetCounter("udb.wal.fsyncs"),
+      obs::Registry::Global().GetHistogram("udb.wal.fsync_us"),
+  };
+  return m;
+}
+
+// Records one fsync (successful or not) into the latency histogram.
+void RecordSync(std::chrono::steady_clock::time_point start) {
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  Metrics().fsyncs->Increment();
+  Metrics().fsync_us->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count()));
+}
+
+}  // namespace
+
 WriteAheadLog::WriteAheadLog(std::unique_ptr<WalFile> file)
     : file_(std::move(file)) {}
 
@@ -133,6 +166,8 @@ Status WriteAheadLog::AppendRecord(const std::vector<uint8_t>& payload) {
   frame.PutU32(Crc32(payload.data(), payload.size()));
   frame.PutRaw(payload.data(), payload.size());
   bytes_appended_ += frame.size();
+  Metrics().records->Increment();
+  Metrics().bytes->Add(frame.size());
   return file_->Append(frame.data().data(), frame.size());
 }
 
@@ -176,7 +211,10 @@ Status WriteAheadLog::AppendAbort(uint64_t txn) {
 Status WriteAheadLog::SyncNow() {
   commits_since_sync_ = 0;
   ++syncs_;
-  return file_->Sync();
+  auto start = std::chrono::steady_clock::now();
+  Status s = file_->Sync();
+  RecordSync(start);
+  return s;
 }
 
 Status WriteAheadLog::Checkpoint(const std::vector<uint8_t>& catalog) {
@@ -190,7 +228,10 @@ Status WriteAheadLog::Checkpoint(const std::vector<uint8_t>& catalog) {
   frame.PutRaw(payload.data().data(), payload.size());
   commits_since_sync_ = 0;
   ++syncs_;
-  return file_->Reset(frame.data());
+  auto start = std::chrono::steady_clock::now();
+  Status s = file_->Reset(frame.data());
+  RecordSync(start);
+  return s;
 }
 
 std::vector<WalRecord> WriteAheadLog::Scan(const std::vector<uint8_t>& bytes,
@@ -292,6 +333,9 @@ Result<WalReplayStats> WriteAheadLog::Replay(WalFile* file,
     }
   }
   GENALG_RETURN_IF_ERROR(disk->Sync());
+  obs::Registry::Global()
+      .GetCounter("udb.txn.recovered")
+      ->Add(stats.committed_txns);
   return stats;
 }
 

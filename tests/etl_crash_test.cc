@@ -7,6 +7,7 @@
 #include "etl/pipeline.h"
 #include "etl/source.h"
 #include "etl/warehouse.h"
+#include "obs/metrics.h"
 #include "udb/adapter.h"
 #include "udb/database.h"
 #include "udb/fault_disk.h"
@@ -145,6 +146,7 @@ TEST_F(EtlCrashTest, TransientCommitFailureRetriesWithoutRestart) {
 
   // One fsync fails mid-cycle; the device survives. The round rolls back
   // (database AND staging image) and its deltas stay buffered.
+  obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
   media.ArmFault(SimulatedMedia::FaultMode::kFsyncFailOnce, 0);
   EXPECT_FALSE(pipeline.RunOnce().ok());
   EXPECT_EQ(MustExport(&warehouse), loaded_xml);
@@ -154,6 +156,15 @@ TEST_F(EtlCrashTest, TransientCommitFailureRetriesWithoutRestart) {
   ASSERT_OK(retried.status());
   EXPECT_GT(retried->deltas_applied, 0u);
   EXPECT_EQ(MustExport(&warehouse), converged_xml);
+
+  // The metrics tell the same story: the failed round recorded exactly
+  // one commit failure, and exactly one retry round re-queued exactly the
+  // deltas that were eventually applied.
+  obs::MetricsSnapshot delta = obs::Registry::Global().Snapshot().Since(before);
+  EXPECT_EQ(delta.counter("etl.commit_failures"), 1u);
+  EXPECT_EQ(delta.counter("etl.retry_rounds"), 1u);
+  EXPECT_EQ(delta.counter("etl.deltas_retried"), retried->deltas_applied);
+  EXPECT_EQ(delta.counter("etl.deltas_applied"), retried->deltas_applied);
 }
 
 }  // namespace

@@ -399,6 +399,95 @@ TEST(RenderTest, HistogramScalesBars) {
   EXPECT_EQ(bql::RenderHistogram({}), "(no data)\n");
 }
 
+// ------------------------------------------------------ PROFILE queries.
+
+// The trimmed operator names of a PROFILE result, in output order.
+std::vector<std::string> ProfileOperators(const udb::QueryResult& profile) {
+  std::vector<std::string> ops;
+  for (const auto& row : profile.rows) {
+    std::string op = row[0].AsString().value();
+    ops.push_back(op.substr(op.find_first_not_of(' ')));
+  }
+  return ops;
+}
+
+size_t CountOperator(const std::vector<std::string>& ops,
+                     const std::string& name) {
+  size_t n = 0;
+  for (const std::string& op : ops) {
+    if (op == name) ++n;
+  }
+  return n;
+}
+
+TEST_F(BqlEndToEndTest, ProfileRowCountMatchesUnprofiledQuery) {
+  const std::string query = "find sequences from \"Synthetica exempli\"";
+  auto plain = bql::RunBql(db_.get(), query);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_EQ(plain->rows.size(), 2u);
+
+  auto profile = bql::RunBql(db_.get(), "profile " + query);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  ASSERT_EQ(profile->columns,
+            (std::vector<std::string>{"operator", "time_us", "rows",
+                                      "detail"}));
+  EXPECT_EQ(profile->message, "profiled: 2 result rows");
+
+  // The "execute" root row carries the result-row count of the profiled
+  // query, which must equal the unprofiled run's.
+  ASSERT_FALSE(profile->rows.empty());
+  EXPECT_EQ(profile->rows[0][0].AsString().value(), "execute");
+  EXPECT_EQ(profile->rows[0][2].AsInt().value(),
+            static_cast<int64_t>(plain->rows.size()));
+}
+
+TEST_F(BqlEndToEndTest, ProfileListsEveryPlanOperatorExactlyOnce) {
+  // A query that exercises the whole operator chain: WHERE (filter),
+  // projection, ORDER BY (sort) from the BQL translation, and a LIMIT
+  // that actually truncates.
+  auto profile = bql::RunBql(
+      db_.get(),
+      "profile find sequences from \"Synthetica exempli\" first 1");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  std::vector<std::string> ops = ProfileOperators(*profile);
+  for (const char* op : {"execute", "parse", "bind", "scan", "filter",
+                         "project", "sort", "limit"}) {
+    EXPECT_EQ(CountOperator(ops, op), 1u) << "operator " << op;
+  }
+  // One table, so one scan; no aggregation or DISTINCT in this plan.
+  EXPECT_EQ(CountOperator(ops, "aggregate"), 0u);
+  EXPECT_EQ(CountOperator(ops, "distinct"), 0u);
+
+  // An aggregate plan swaps project for aggregate.
+  auto counted = bql::RunBql(db_.get(), "profile count sequences");
+  ASSERT_TRUE(counted.ok()) << counted.status().ToString();
+  std::vector<std::string> count_ops = ProfileOperators(*counted);
+  EXPECT_EQ(CountOperator(count_ops, "aggregate"), 1u);
+  EXPECT_EQ(CountOperator(count_ops, "project"), 0u);
+  EXPECT_EQ(CountOperator(count_ops, "execute"), 1u);
+}
+
+TEST_F(BqlEndToEndTest, ProfileOperatorTimesNestUnderExecute) {
+  auto profile = bql::RunBql(
+      db_.get(), "profile find sequences from \"Synthetica exempli\"");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  ASSERT_FALSE(profile->rows.empty());
+  double execute_us = profile->rows[0][1].AsReal().value();
+  EXPECT_GT(execute_us, 0.0);
+  // Direct children (indented two spaces) are disjoint phases of the
+  // root, so their times sum to at most the root's.
+  double child_sum_us = 0.0;
+  for (size_t i = 1; i < profile->rows.size(); ++i) {
+    std::string op = profile->rows[i][0].AsString().value();
+    bool direct_child = op.size() > 2 && op[0] == ' ' && op[1] == ' ' &&
+                        op[2] != ' ';
+    if (direct_child) {
+      child_sum_us += profile->rows[i][1].AsReal().value();
+    }
+  }
+  EXPECT_LE(child_sum_us, execute_us);
+}
+
 // ------------------------- Warehouse vs mediator agreement (Figure 1/3).
 
 TEST_F(BqlEndToEndTest, WarehouseAndMediatorAgreeOnContains) {

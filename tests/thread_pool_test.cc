@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+
+#include "obs/metrics.h"
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
@@ -53,6 +55,26 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
       }
     }
   }
+}
+
+TEST(ThreadPoolTest, ParallelForClampsZeroGrainAndReportsIt) {
+  obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> seen(64);
+    pool.ParallelFor(0, 64, /*grain=*/0, [&](size_t lo, size_t hi) {
+      ASSERT_LT(lo, hi);  // A zero grain must not produce empty chunks.
+      for (size_t i = lo; i < hi; ++i) {
+        seen[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+  obs::MetricsSnapshot delta =
+      obs::Registry::Global().Snapshot().Since(before);
+  EXPECT_EQ(delta.counter("base.pool.grain_clamped"), 2u);
 }
 
 TEST(ThreadPoolTest, ParallelForRespectsNonZeroBegin) {
