@@ -5,11 +5,17 @@
 //
 // Run:  ./build/examples/biologist_repl --demo
 //       echo 'count sequences' | ./build/examples/biologist_repl
+//       ./build/examples/biologist_repl --serve 7433        # network server
+//       ./build/examples/biologist_repl --connect 127.0.0.1:7433
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "algebra/signature.h"
 #include "align/aligner.h"
@@ -19,6 +25,8 @@
 #include "etl/pipeline.h"
 #include "etl/source.h"
 #include "etl/warehouse.h"
+#include "net/client.h"
+#include "server/server.h"
 #include "udb/adapter.h"
 #include "udb/database.h"
 
@@ -88,6 +96,98 @@ void RunAlign(genalg::udb::Database* db, const std::string& a,
   std::printf("%s", bql::RenderAlignment(*alignment, 60).c_str());
 }
 
+void PrintResult(const genalg::udb::QueryResult& result) {
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    std::printf("%s%s", c ? " | " : "  ", result.columns[c].c_str());
+  }
+  std::printf("\n");
+  size_t shown = 0;
+  for (const auto& row : result.rows) {
+    std::printf("  ");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%s", c ? " | " : "", row[c].ToString().c_str());
+    }
+    std::printf("\n");
+    if (++shown == 10 && result.rows.size() > 10) {
+      std::printf("  ... (%zu rows)\n", result.rows.size());
+      break;
+    }
+  }
+}
+
+std::atomic<bool> g_stop{false};
+void HandleStopSignal(int) { g_stop.store(true); }
+
+// `--serve <port>`: expose the freshly loaded warehouse over the net/
+// wire protocol and block until SIGINT/SIGTERM, then drain gracefully.
+int RunServe(genalg::udb::Database* db, uint16_t port) {
+  using namespace genalg;
+  server::ServerOptions options;
+  options.port = port;
+  server::GenAlgServer server(db, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "!! %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving BQL on 127.0.0.1:%u — SIGINT/SIGTERM to drain\n",
+              server.port());
+  std::fflush(stdout);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("draining in-flight queries...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  std::printf("server stopped cleanly.\n");
+  return 0;
+}
+
+// `--connect host:port`: a thin remote shell — every BQL line goes over
+// the wire; map/align need local sequence access and are server-side
+// only. `ping` round-trips a liveness probe (reconnecting if needed).
+int RunConnect(const std::string& target) {
+  using namespace genalg;
+  size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "usage: --connect host:port\n");
+    return 1;
+  }
+  std::string host = target.substr(0, colon);
+  uint16_t port = static_cast<uint16_t>(
+      std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+  auto client = net::GenAlgClient::Connect(host, port, "biologist-repl");
+  if (!client.ok()) {
+    std::fprintf(stderr, "!! %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s (protocol v%u) at %s\n",
+              (*client)->server_name().c_str(),
+              (*client)->negotiated_version(), target.c_str());
+  std::string line;
+  while (std::printf("bql> "), std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+    if (line == "ping") {
+      Status alive = (*client)->EnsureAlive();
+      std::printf("  %s\n", alive.ok() ? "pong" : alive.ToString().c_str());
+      continue;
+    }
+    auto result = (*client)->QueryAll(line);
+    if (!result.ok()) {
+      std::printf("  !! %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintResult(*result);
+    if (!result->message.empty()) {
+      std::printf("  -- %s\n", result->message.c_str());
+    }
+  }
+  return 0;
+}
+
 void RunQuery(genalg::udb::Database* db, const std::string& line) {
   // RunBql handles the optional `profile` prefix; translate the bare
   // query here only to echo the SQL it compiles to.
@@ -104,29 +204,35 @@ void RunQuery(genalg::udb::Database* db, const std::string& line) {
     std::printf("  !! %s\n", result.status().ToString().c_str());
     return;
   }
-  for (size_t c = 0; c < result->columns.size(); ++c) {
-    std::printf("%s%s", c ? " | " : "  ", result->columns[c].c_str());
-  }
-  std::printf("\n");
-  size_t shown = 0;
-  for (const auto& row : result->rows) {
-    std::printf("  ");
-    for (size_t c = 0; c < row.size(); ++c) {
-      std::printf("%s%s", c ? " | " : "", row[c].ToString().c_str());
-    }
-    std::printf("\n");
-    if (++shown == 10 && result->rows.size() > 10) {
-      std::printf("  ... (%zu rows)\n", result->rows.size());
-      break;
-    }
-  }
+  PrintResult(*result);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace genalg;
-  bool demo = argc > 1 && std::strcmp(argv[1], "--demo") == 0;
+  bool demo = false;
+  bool serve = false;
+  uint16_t serve_port = 0;
+  std::string connect_target;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve = true;
+      serve_port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_target = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: biologist_repl [--demo | --serve <port> | "
+                   "--connect host:port]\n");
+      return 1;
+    }
+  }
+
+  // Connect mode needs no local database at all — the server owns it.
+  if (!connect_target.empty()) return RunConnect(connect_target);
 
   algebra::SignatureRegistry registry;
   if (!algebra::RegisterStandardAlgebra(&registry).ok()) return 1;
@@ -145,6 +251,9 @@ int main(int argc, char** argv) {
 
   std::printf("GenAlg biologist shell — %lld sequences loaded.\n",
               static_cast<long long>(*warehouse.SequenceCount()));
+
+  if (serve) return RunServe(&db, serve_port);
+
   std::printf(
       "Try:  find sequences containing ATTGCCATA\n"
       "      count sequences with gc above 0.5\n"

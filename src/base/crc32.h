@@ -1,0 +1,17 @@
+#ifndef GENALG_BASE_CRC32_H_
+#define GENALG_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace genalg {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte span.
+/// One implementation shared by every framed format in the tree: WAL
+/// records (udb/wal) and wire-protocol frames (net/frame) must agree on
+/// the checksum so corruption diagnostics mean the same thing everywhere.
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace genalg
+
+#endif  // GENALG_BASE_CRC32_H_

@@ -1,0 +1,151 @@
+#ifndef GENALG_BASE_RW_GATE_H_
+#define GENALG_BASE_RW_GATE_H_
+
+#include <atomic>
+#include <chrono>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace genalg {
+
+/// A metered reader–writer gate: many concurrent readers, one exclusive
+/// writer. The serving layer takes the read side around every query it
+/// executes; the ETL refresh (and any other mutation path) takes the
+/// write side, so readers only ever observe the state entirely before or
+/// entirely after a refresh — never a torn intermediate.
+///
+/// The write side is reentrant *for the owning thread only*: a thread
+/// already holding the write lease gets no-op leases from further Write()
+/// — and no-op Read() leases too — so a writer's internal reads and
+/// nested transaction wrappers (Warehouse entry points called from inside
+/// RunInTransaction) never self-deadlock. Reader leases are NOT reentrant
+/// into Write(); upgrading is a deadlock and is the caller's bug.
+///
+/// Metrics (registered under `<prefix>.`):
+///   read_acquires / write_acquires  — leases granted (outermost only)
+///   readers_active / writer_active  — gauges
+///   write_wait_us                   — histogram of writer queue time
+class RwGate {
+ public:
+  explicit RwGate(const std::string& metric_prefix)
+      : read_acquires_(obs::Registry::Global().GetCounter(metric_prefix +
+                                                          ".read_acquires")),
+        write_acquires_(obs::Registry::Global().GetCounter(
+            metric_prefix + ".write_acquires")),
+        readers_active_(obs::Registry::Global().GetGauge(metric_prefix +
+                                                         ".readers_active")),
+        writer_active_(obs::Registry::Global().GetGauge(metric_prefix +
+                                                        ".writer_active")),
+        write_wait_us_(obs::Registry::Global().GetHistogram(
+            metric_prefix + ".write_wait_us")) {}
+
+  RwGate(const RwGate&) = delete;
+  RwGate& operator=(const RwGate&) = delete;
+
+  class ReadLease {
+   public:
+    ReadLease() = default;
+    ReadLease(ReadLease&& other) noexcept { *this = std::move(other); }
+    ReadLease& operator=(ReadLease&& other) noexcept {
+      Release();
+      gate_ = other.gate_;
+      other.gate_ = nullptr;
+      return *this;
+    }
+    ~ReadLease() { Release(); }
+
+    bool held() const { return gate_ != nullptr; }
+
+   private:
+    friend class RwGate;
+    explicit ReadLease(RwGate* gate) : gate_(gate) {}
+    void Release() {
+      if (gate_ == nullptr) return;
+      gate_->readers_active_->Sub(1);
+      gate_->mutex_.unlock_shared();
+      gate_ = nullptr;
+    }
+    RwGate* gate_ = nullptr;  // Null for the writer's no-op lease.
+  };
+
+  class WriteLease {
+   public:
+    WriteLease() = default;
+    WriteLease(WriteLease&& other) noexcept { *this = std::move(other); }
+    WriteLease& operator=(WriteLease&& other) noexcept {
+      Release();
+      gate_ = other.gate_;
+      other.gate_ = nullptr;
+      return *this;
+    }
+    ~WriteLease() { Release(); }
+
+    bool held() const { return gate_ != nullptr; }
+
+   private:
+    friend class RwGate;
+    explicit WriteLease(RwGate* gate) : gate_(gate) {}
+    void Release() {
+      if (gate_ == nullptr) return;
+      gate_->writer_active_->Set(0);
+      gate_->writer_.store(std::thread::id(), std::memory_order_relaxed);
+      gate_->mutex_.unlock();
+      gate_ = nullptr;
+    }
+    RwGate* gate_ = nullptr;  // Null for a reentrant no-op lease.
+  };
+
+  /// Blocks until no writer holds the gate, then returns a shared lease.
+  /// Returns a no-op lease if the calling thread IS the writer.
+  ReadLease Read() {
+    if (writer_.load(std::memory_order_relaxed) ==
+        std::this_thread::get_id()) {
+      return ReadLease();
+    }
+    mutex_.lock_shared();
+    read_acquires_->Increment();
+    readers_active_->Add(1);
+    return ReadLease(this);
+  }
+
+  /// Blocks until every reader and any other writer drain, then returns
+  /// the exclusive lease. Reentrant: no-op lease if this thread already
+  /// holds it.
+  WriteLease Write() {
+    if (writer_.load(std::memory_order_relaxed) ==
+        std::this_thread::get_id()) {
+      return WriteLease();
+    }
+    auto start = std::chrono::steady_clock::now();
+    mutex_.lock();
+    auto waited = std::chrono::steady_clock::now() - start;
+    writer_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    write_acquires_->Increment();
+    writer_active_->Set(1);
+    write_wait_us_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(waited)
+            .count()));
+    return WriteLease(this);
+  }
+
+ private:
+  std::shared_mutex mutex_;
+  /// The thread currently holding the write side (default id = none).
+  /// Relaxed is enough: a thread reads back only its own store, and any
+  /// other thread's comparison against its own id just needs to not be a
+  /// false positive — ids are never reused while the owner is alive.
+  std::atomic<std::thread::id> writer_{std::thread::id()};
+
+  obs::Counter* read_acquires_;
+  obs::Counter* write_acquires_;
+  obs::Gauge* readers_active_;
+  obs::Gauge* writer_active_;
+  obs::Histogram* write_wait_us_;
+};
+
+}  // namespace genalg
+
+#endif  // GENALG_BASE_RW_GATE_H_

@@ -16,6 +16,7 @@ namespace {
 struct PoolMetrics {
   obs::Counter* tasks_submitted;
   obs::Counter* tasks_executed;
+  obs::Counter* tasks_rejected;
   obs::Counter* busy_us;
   obs::Counter* grain_clamped;
   obs::Gauge* queue_depth;
@@ -25,6 +26,7 @@ const PoolMetrics& Metrics() {
   static const PoolMetrics m = {
       obs::Registry::Global().GetCounter("base.pool.tasks_submitted"),
       obs::Registry::Global().GetCounter("base.pool.tasks_executed"),
+      obs::Registry::Global().GetCounter("base.pool.tasks_rejected"),
       obs::Registry::Global().GetCounter("base.pool.busy_us"),
       obs::Registry::Global().GetCounter("base.pool.grain_clamped"),
       obs::Registry::Global().GetGauge("base.pool.queue_depth"),
@@ -44,12 +46,26 @@ ThreadPool::ThreadPool(size_t threads)
   }
 }
 
+ThreadPool::ThreadPool(size_t threads, size_t max_queue,
+                       OverflowPolicy policy)
+    : threads_(threads == 0 ? DefaultThreadCount() : threads),
+      max_queue_(max_queue == 0 ? 1 : max_queue),
+      policy_(policy) {
+  // A bounded pool always spawns workers — a bound over inline execution
+  // would be meaningless (the "queue" would never hold anything).
+  workers_.reserve(threads_);
+  for (size_t i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
+  space_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -62,6 +78,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (max_queue_ != 0) space_.notify_one();
     }
     Metrics().queue_depth->Sub(1);
     auto start = std::chrono::steady_clock::now();
@@ -82,11 +99,57 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (max_queue_ != 0 && queue_.size() >= max_queue_) {
+      if (policy_ == OverflowPolicy::kInline) {
+        // Degrade to caller execution rather than queueing past the
+        // bound; the task still runs exactly once.
+        lock.unlock();
+        auto start = std::chrono::steady_clock::now();
+        task();
+        auto elapsed = std::chrono::steady_clock::now() - start;
+        Metrics().busy_us->Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count()));
+        Metrics().tasks_executed->Increment();
+        return;
+      }
+      space_.wait(lock, [this] {
+        return stopping_ || queue_.size() < max_queue_;
+      });
+      if (stopping_) return;  // Dropped: the pool is being destroyed.
+    }
     queue_.push_back(std::move(task));
   }
   Metrics().queue_depth->Add(1);
   wake_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Unbounded inline pool: run it now, as Submit would.
+    Metrics().tasks_submitted->Increment();
+    task();
+    Metrics().tasks_executed->Increment();
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_queue_ != 0 && queue_.size() >= max_queue_) {
+      Metrics().tasks_rejected->Increment();
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  Metrics().tasks_submitted->Increment();
+  Metrics().queue_depth->Add(1);
+  wake_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,

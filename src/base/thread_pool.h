@@ -30,9 +30,26 @@ namespace genalg {
 ///    their serial runs).
 class ThreadPool {
  public:
+  /// What Submit does when a bounded queue is full.
+  enum class OverflowPolicy {
+    kBlock,   ///< Submit waits for a slot (back-pressure).
+    kInline,  ///< Submit runs the task on the calling thread (degrade).
+  };
+
   /// Creates a pool running `threads` workers; 0 means
   /// DefaultThreadCount(). A size of 1 creates no threads.
   explicit ThreadPool(size_t threads = 0);
+
+  /// Bounded-queue mode: at most `max_queue` tasks may be pending (must
+  /// be >= 1). TrySubmit reports rejection instead of queueing past the
+  /// bound — the admission-control primitive of the serving layer — and
+  /// Submit applies `policy`. A bounded pool always spawns workers, even
+  /// at size 1: the bound is only meaningful when submission is
+  /// asynchronous, so the size-1 inline shortcut applies to unbounded
+  /// pools only. ParallelFor is exempt from the bound: its helper tasks
+  /// are internal work the calling thread also executes, not external
+  /// admissions.
+  ThreadPool(size_t threads, size_t max_queue, OverflowPolicy policy);
 
   /// Drains outstanding tasks and joins the workers.
   ~ThreadPool();
@@ -45,10 +62,24 @@ class ThreadPool {
   /// ParallelFor uses up to n CPUs, not n + 1.
   size_t size() const { return threads_; }
 
-  /// Enqueues one task for asynchronous execution (inline when
-  /// size() == 1). Fire-and-forget: use ParallelFor when completion must
-  /// be awaited.
+  /// Enqueues one task for asynchronous execution (inline when the pool
+  /// is unbounded with size() == 1). Fire-and-forget: use ParallelFor
+  /// when completion must be awaited. On a full bounded queue the
+  /// overflow policy decides: kBlock waits for a slot, kInline runs the
+  /// task on the calling thread. Either way the task always executes.
   void Submit(std::function<void()> task);
+
+  /// Bounded pools only (always true on unbounded ones): enqueues the
+  /// task if a queue slot is free and returns true, else returns false
+  /// WITHOUT running the task — the caller owns the rejection (the
+  /// server turns it into error{overloaded}).
+  bool TrySubmit(std::function<void()> task);
+
+  /// The queue bound (0 = unbounded).
+  size_t max_queue() const { return max_queue_; }
+
+  /// Tasks currently queued (racy snapshot, for monitoring).
+  size_t queued() const;
 
   /// Splits [begin, end) into chunks of at most `grain` indices and runs
   /// `body(chunk_begin, chunk_end)` for each, returning once every chunk
@@ -73,10 +104,13 @@ class ThreadPool {
   void WorkerLoop();
 
   size_t threads_;
+  size_t max_queue_ = 0;  // 0 = unbounded.
+  OverflowPolicy policy_ = OverflowPolicy::kBlock;
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
+  std::condition_variable space_;  // Signaled when a bounded queue drains.
   bool stopping_ = false;
 };
 

@@ -24,6 +24,12 @@ Warehouse::Warehouse(udb::Database* db, Integrator::Options options)
       }()) {}
 
 Status Warehouse::RunInTransaction(const std::function<Status()>& body) {
+  // Exclusive writer side of the database gate: concurrent read sessions
+  // (the serving layer) drain before the refresh touches anything and
+  // stay out until it finishes, so every served result is consistent
+  // with exactly the pre- or post-refresh snapshot. Reentrant: a nested
+  // RunInTransaction on the same thread gets a no-op lease.
+  RwGate::WriteLease writer = db_->gate().Write();
   if (!db_->wal_enabled() || db_->in_transaction()) return body();
   // The staging image lives outside the database; snapshot it so a
   // rolled-back cycle also rewinds which source contributes what.

@@ -1,0 +1,262 @@
+#include "net/client.h"
+
+namespace genalg::net {
+
+namespace {
+
+/// Maps a server ErrorMsg onto the Status vocabulary the in-process API
+/// uses, so callers handle remote and local failures identically.
+Status ErrorToStatus(const ErrorMsg& error) {
+  std::string text = std::string(ErrorCodeName(error.code)) + ": " +
+                     error.message;
+  switch (error.code) {
+    case ErrorCode::kOverloaded:
+    case ErrorCode::kSessionLimit:
+      return Status::ResourceExhausted(std::move(text));
+    case ErrorCode::kTimeout:
+    case ErrorCode::kCancelled:
+      return Status::FailedPrecondition(std::move(text));
+    case ErrorCode::kShuttingDown:
+      return Status::FailedPrecondition(std::move(text));
+    case ErrorCode::kVersion:
+      return Status::Unimplemented(std::move(text));
+    case ErrorCode::kQueryFailed:
+      return Status::InvalidArgument(std::move(text));
+    case ErrorCode::kMalformed:
+    default:
+      return Status::Corruption(std::move(text));
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ QueryCursor.
+
+QueryCursor::~QueryCursor() {
+  if (client_ != nullptr && !done_) {
+    (void)Cancel();
+  }
+  if (client_ != nullptr) client_->cursor_open_ = false;
+}
+
+void QueryCursor::Finish() {
+  done_ = true;
+  if (client_ != nullptr) client_->cursor_open_ = false;
+}
+
+Result<bool> QueryCursor::Next(std::vector<udb::Row>* batch) {
+  batch->clear();
+  if (done_) return false;
+  auto page = client_->NextPage(query_id_);
+  if (!page.ok()) {
+    Finish();
+    return page.status();
+  }
+  if (!page->has_value()) {
+    Finish();
+    return false;
+  }
+  if ((*page)->page_index == 0) columns_ = std::move((*page)->columns);
+  *batch = std::move((*page)->rows);
+  if ((*page)->last) {
+    message_ = std::move((*page)->message);
+    Finish();
+  }
+  // A page arrived (possibly the empty last one of a zero-row result);
+  // the caller consumes `batch` and calls Next again until false.
+  return true;
+}
+
+Status QueryCursor::Cancel() {
+  if (done_ || client_ == nullptr) return Status::OK();
+  GENALG_RETURN_IF_ERROR(client_->SendCancel(query_id_));
+  // Drain to the terminal frame so the wire is clean for the next query.
+  std::vector<udb::Row> discard;
+  for (;;) {
+    auto more = Next(&discard);
+    if (!more.ok()) {
+      // kCancelled coming back is the expected terminal condition.
+      return more.status().IsFailedPrecondition() ? Status::OK()
+                                                  : more.status();
+    }
+    if (!*more) return Status::OK();
+  }
+}
+
+// ----------------------------------------------------------- GenAlgClient.
+
+Result<std::unique_ptr<GenAlgClient>> GenAlgClient::Connect(
+    const std::string& host, uint16_t port, const std::string& client_name) {
+  std::unique_ptr<GenAlgClient> client(
+      new GenAlgClient(host, port, client_name));
+  GENALG_RETURN_IF_ERROR(client->DoConnect());
+  return client;
+}
+
+GenAlgClient::~GenAlgClient() { Close(); }
+
+Status GenAlgClient::DoConnect() {
+  GENALG_ASSIGN_OR_RETURN(socket_, TcpSocket::ConnectTo(host_, port_));
+  broken_ = false;
+  cursor_open_ = false;
+  HelloMsg hello;
+  hello.client_name = name_;
+  GENALG_RETURN_IF_ERROR(
+      WriteFrame(&socket_, FrameType::kHello, hello.Encode()));
+  Frame frame;
+  GENALG_RETURN_IF_ERROR(ReadFrame(&socket_, &frame));
+  if (frame.type == FrameType::kError) {
+    GENALG_ASSIGN_OR_RETURN(ErrorMsg error, ErrorMsg::Decode(frame.body));
+    return ErrorToStatus(error);
+  }
+  if (frame.type != FrameType::kHelloAck) {
+    return Status::Corruption("expected hello_ack, got frame type " +
+                              std::to_string(static_cast<int>(frame.type)));
+  }
+  GENALG_ASSIGN_OR_RETURN(HelloAckMsg ack, HelloAckMsg::Decode(frame.body));
+  if (ack.version < kProtocolVersionMin ||
+      ack.version > kProtocolVersionMax) {
+    return Status::Unimplemented("server picked unsupported protocol v" +
+                                 std::to_string(ack.version));
+  }
+  version_ = ack.version;
+  server_name_ = ack.server_name;
+  return Status::OK();
+}
+
+Result<QueryCursor> GenAlgClient::Query(const std::string& bql,
+                                        uint32_t page_rows,
+                                        uint32_t deadline_ms) {
+  if (!socket_.valid() || broken_) {
+    return Status::FailedPrecondition(
+        "not connected (Reconnect() to resume)");
+  }
+  if (cursor_open_) {
+    return Status::FailedPrecondition(
+        "a cursor is still open on this connection");
+  }
+  QueryMsg msg;
+  msg.query_id = next_query_id_++;
+  msg.bql = bql;
+  msg.page_rows = page_rows == 0 ? 1 : page_rows;
+  msg.deadline_ms = deadline_ms;
+  Status sent = WriteFrame(&socket_, FrameType::kQuery, msg.Encode());
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  cursor_open_ = true;
+  return QueryCursor(this, msg.query_id);
+}
+
+Result<udb::QueryResult> GenAlgClient::QueryAll(const std::string& bql,
+                                                uint32_t page_rows,
+                                                uint32_t deadline_ms) {
+  GENALG_ASSIGN_OR_RETURN(QueryCursor cursor,
+                          Query(bql, page_rows, deadline_ms));
+  udb::QueryResult result;
+  std::vector<udb::Row> batch;
+  for (;;) {
+    GENALG_ASSIGN_OR_RETURN(bool more, cursor.Next(&batch));
+    if (!more) break;
+    for (udb::Row& row : batch) result.rows.push_back(std::move(row));
+  }
+  result.columns = cursor.columns();
+  result.message = cursor.message();
+  return result;
+}
+
+Result<std::optional<ResultPageMsg>> GenAlgClient::NextPage(
+    uint64_t query_id) {
+  for (;;) {
+    Frame frame;
+    Status read = ReadFrame(&socket_, &frame);
+    if (!read.ok()) {
+      broken_ = true;
+      return read;
+    }
+    switch (frame.type) {
+      case FrameType::kResultPage: {
+        GENALG_ASSIGN_OR_RETURN(ResultPageMsg page,
+                                ResultPageMsg::Decode(frame.body));
+        if (page.query_id != query_id) continue;  // A cancelled stream's tail.
+        return std::optional<ResultPageMsg>(std::move(page));
+      }
+      case FrameType::kError: {
+        GENALG_ASSIGN_OR_RETURN(ErrorMsg error,
+                                ErrorMsg::Decode(frame.body));
+        if (error.query_id != 0 && error.query_id != query_id) continue;
+        return ErrorToStatus(error);
+      }
+      case FrameType::kPong:
+        continue;  // A crossed Ping reply; harmless here.
+      case FrameType::kGoodbye:
+        broken_ = true;
+        return Status::FailedPrecondition("server said goodbye mid-query");
+      default:
+        broken_ = true;
+        return Status::Corruption(
+            "unexpected frame type " +
+            std::to_string(static_cast<int>(frame.type)) + " mid-query");
+    }
+  }
+}
+
+Status GenAlgClient::SendCancel(uint64_t query_id) {
+  CancelMsg msg;
+  msg.query_id = query_id;
+  Status sent = WriteFrame(&socket_, FrameType::kCancel, msg.Encode());
+  if (!sent.ok()) broken_ = true;
+  return sent;
+}
+
+Status GenAlgClient::Ping() {
+  if (!socket_.valid() || broken_) {
+    return Status::FailedPrecondition("not connected");
+  }
+  if (cursor_open_) {
+    return Status::FailedPrecondition("cannot ping mid-cursor");
+  }
+  PingMsg ping;
+  ping.nonce = next_nonce_++;
+  Status sent = WriteFrame(&socket_, FrameType::kPing, ping.Encode());
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  Frame frame;
+  Status read = ReadFrame(&socket_, &frame);
+  if (!read.ok()) {
+    broken_ = true;
+    return read;
+  }
+  if (frame.type != FrameType::kPong) {
+    broken_ = true;
+    return Status::Corruption("expected pong");
+  }
+  GENALG_ASSIGN_OR_RETURN(PingMsg pong, PingMsg::Decode(frame.body));
+  if (pong.nonce != ping.nonce) {
+    broken_ = true;
+    return Status::Corruption("pong nonce mismatch");
+  }
+  return Status::OK();
+}
+
+Status GenAlgClient::Reconnect() {
+  socket_.Close();
+  return DoConnect();
+}
+
+Status GenAlgClient::EnsureAlive() {
+  if (connected() && Ping().ok()) return Status::OK();
+  return Reconnect();
+}
+
+void GenAlgClient::Close() {
+  if (socket_.valid() && !broken_) {
+    (void)WriteFrame(&socket_, FrameType::kGoodbye, {});
+  }
+  socket_.Close();
+}
+
+}  // namespace genalg::net

@@ -1,0 +1,148 @@
+#ifndef GENALG_NET_CLIENT_H_
+#define GENALG_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "udb/database.h"
+
+namespace genalg::net {
+
+class GenAlgClient;
+
+/// A streamed result set: pages arrive from the server as Next() pulls
+/// them, so a huge result never has to fit in one buffer on either side.
+/// The cursor borrows its client; exactly one cursor may be open per
+/// client at a time (the wire is sequential), and it must be drained,
+/// Cancel()ed, or destroyed before the next Query.
+class QueryCursor {
+ public:
+  QueryCursor(QueryCursor&& other) noexcept { *this = std::move(other); }
+  QueryCursor& operator=(QueryCursor&& other) noexcept {
+    client_ = other.client_;
+    query_id_ = other.query_id_;
+    columns_ = std::move(other.columns_);
+    message_ = std::move(other.message_);
+    done_ = other.done_;
+    other.client_ = nullptr;  // The source no longer owns the stream.
+    other.done_ = true;
+    return *this;
+  }
+  ~QueryCursor();
+
+  /// Column headers (valid after the first Next() returned a page; the
+  /// server ships them on page 0).
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Executor notice ("updated 3 rows" style), set once done().
+  const std::string& message() const { return message_; }
+
+  /// Pulls the next page into `batch` (replacing its contents). Returns
+  /// false — with `batch` empty — once the result set is exhausted.
+  /// A server-side error (timeout, cancelled, overloaded, …) surfaces
+  /// as the matching Status.
+  Result<bool> Next(std::vector<udb::Row>* batch);
+
+  /// Asks the server to abandon this query (best effort: a queued query
+  /// is dropped; a running one finishes server-side but its remaining
+  /// pages are discarded here), then drains the stream.
+  Status Cancel();
+
+  bool done() const { return done_; }
+  uint64_t query_id() const { return query_id_; }
+
+ private:
+  friend class GenAlgClient;
+  QueryCursor(GenAlgClient* client, uint64_t query_id)
+      : client_(client), query_id_(query_id) {}
+
+  /// Marks the stream terminal and releases the connection for the next
+  /// Query (also done by the destructor).
+  void Finish();
+
+  GenAlgClient* client_;
+  uint64_t query_id_;
+  std::vector<std::string> columns_;
+  std::string message_;
+  bool done_ = false;
+};
+
+/// The biologist-side connection to a GenAlgServer: blocking, one
+/// outstanding query at a time, reconnect-aware.
+///
+///   auto client = GenAlgClient::Connect("127.0.0.1", port).value();
+///   auto result = client->QueryAll("count sequences");
+class GenAlgClient {
+ public:
+  /// Connects and completes the version handshake.
+  static Result<std::unique_ptr<GenAlgClient>> Connect(
+      const std::string& host, uint16_t port,
+      const std::string& client_name = "genalg-client");
+
+  ~GenAlgClient();
+  GenAlgClient(const GenAlgClient&) = delete;
+  GenAlgClient& operator=(const GenAlgClient&) = delete;
+
+  /// Submits one BQL query and returns the page cursor. `page_rows`
+  /// bounds rows per page; `deadline_ms` 0 uses the server default.
+  Result<QueryCursor> Query(const std::string& bql, uint32_t page_rows = 256,
+                            uint32_t deadline_ms = 0);
+
+  /// Convenience: Query + drain every page into one QueryResult, shaped
+  /// exactly like udb::Database::Execute's return (bit-identical rows).
+  Result<udb::QueryResult> QueryAll(const std::string& bql,
+                                    uint32_t page_rows = 256,
+                                    uint32_t deadline_ms = 0);
+
+  /// Round-trips a ping. Any failure marks the connection broken.
+  Status Ping();
+
+  /// Tears down the old socket (if any) and redoes connect + handshake
+  /// against the same host:port.
+  Status Reconnect();
+
+  /// Ping; on failure, Reconnect. The liveness idiom for long-lived
+  /// sessions: call between queries after an idle stretch.
+  Status EnsureAlive();
+
+  /// Sends Goodbye and closes (also done by the destructor).
+  void Close();
+
+  bool connected() const { return socket_.valid() && !broken_; }
+  uint16_t negotiated_version() const { return version_; }
+  const std::string& server_name() const { return server_name_; }
+
+ private:
+  friend class QueryCursor;
+  GenAlgClient(std::string host, uint16_t port, std::string name)
+      : host_(std::move(host)), port_(port), name_(std::move(name)) {}
+
+  Status DoConnect();
+
+  /// Reads frames for `query_id` until a page or terminal condition;
+  /// used by QueryCursor::Next. Pong frames in the stream are ignored.
+  Result<std::optional<ResultPageMsg>> NextPage(uint64_t query_id);
+  Status SendCancel(uint64_t query_id);
+
+  std::string host_;
+  uint16_t port_;
+  std::string name_;
+  TcpSocket socket_;
+  uint16_t version_ = 0;
+  std::string server_name_;
+  uint64_t next_query_id_ = 1;
+  uint64_t next_nonce_ = 1;
+  bool cursor_open_ = false;
+  bool broken_ = false;  ///< I/O failed; Reconnect() required.
+};
+
+}  // namespace genalg::net
+
+#endif  // GENALG_NET_CLIENT_H_

@@ -1,0 +1,230 @@
+#include "net/frame.h"
+
+#include "base/bytes.h"
+#include "base/crc32.h"
+
+namespace genalg::net {
+
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::Corruption("malformed frame: " + what);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- Framing.
+
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& body) {
+  BytesWriter payload;
+  payload.PutU8(static_cast<uint8_t>(type));
+  payload.PutRaw(body.data(), body.size());
+  BytesWriter frame;
+  frame.PutU32(kFrameMagic);
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload.data().data(), payload.size()));
+  frame.PutRaw(payload.data().data(), payload.size());
+  return frame.Release();
+}
+
+Status ReadFrame(TcpSocket* socket, Frame* out) {
+  uint8_t header[kFrameHeaderBytes];
+  GENALG_RETURN_IF_ERROR(socket->RecvAll(header, sizeof(header)));
+  BytesReader reader(header, sizeof(header));
+  uint32_t magic = *reader.GetU32();
+  uint32_t length = *reader.GetU32();
+  uint32_t crc = *reader.GetU32();
+  if (magic != kFrameMagic) return Malformed("bad magic");
+  if (length < 1) return Malformed("empty payload");
+  if (length > kMaxPayloadBytes) {
+    return Malformed("payload of " + std::to_string(length) +
+                     " bytes exceeds the " +
+                     std::to_string(kMaxPayloadBytes) + "-byte cap");
+  }
+  std::vector<uint8_t> payload(length);
+  GENALG_RETURN_IF_ERROR(socket->RecvAll(payload.data(), payload.size()));
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Malformed("CRC mismatch");
+  }
+  uint8_t type = payload[0];
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kGoodbye)) {
+    return Malformed("unknown frame type " + std::to_string(type));
+  }
+  out->type = static_cast<FrameType>(type);
+  out->body.assign(payload.begin() + 1, payload.end());
+  return Status::OK();
+}
+
+Status WriteFrame(TcpSocket* socket, FrameType type,
+                  const std::vector<uint8_t>& body) {
+  return socket->SendAll(EncodeFrame(type, body));
+}
+
+// -------------------------------------------------------------- Messages.
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kMalformed: return "malformed";
+    case ErrorCode::kVersion: return "version";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kQueryFailed: return "query_failed";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kSessionLimit: return "session_limit";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> HelloMsg::Encode() const {
+  BytesWriter w;
+  w.PutU32(magic);
+  w.PutU16(min_version);
+  w.PutU16(max_version);
+  w.PutString(client_name);
+  return w.Release();
+}
+
+Result<HelloMsg> HelloMsg::Decode(const std::vector<uint8_t>& body) {
+  BytesReader r(body);
+  HelloMsg msg;
+  GENALG_ASSIGN_OR_RETURN(msg.magic, r.GetU32());
+  GENALG_ASSIGN_OR_RETURN(msg.min_version, r.GetU16());
+  GENALG_ASSIGN_OR_RETURN(msg.max_version, r.GetU16());
+  GENALG_ASSIGN_OR_RETURN(msg.client_name, r.GetString());
+  if (msg.magic != kHelloMagic) {
+    return Status::Corruption("hello carries the wrong magic");
+  }
+  if (msg.min_version > msg.max_version) {
+    return Status::Corruption("hello version range is inverted");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> HelloAckMsg::Encode() const {
+  BytesWriter w;
+  w.PutU16(version);
+  w.PutString(server_name);
+  return w.Release();
+}
+
+Result<HelloAckMsg> HelloAckMsg::Decode(const std::vector<uint8_t>& body) {
+  BytesReader r(body);
+  HelloAckMsg msg;
+  GENALG_ASSIGN_OR_RETURN(msg.version, r.GetU16());
+  GENALG_ASSIGN_OR_RETURN(msg.server_name, r.GetString());
+  return msg;
+}
+
+std::vector<uint8_t> QueryMsg::Encode() const {
+  BytesWriter w;
+  w.PutU64(query_id);
+  w.PutString(bql);
+  w.PutU32(page_rows);
+  w.PutU32(deadline_ms);
+  return w.Release();
+}
+
+Result<QueryMsg> QueryMsg::Decode(const std::vector<uint8_t>& body) {
+  BytesReader r(body);
+  QueryMsg msg;
+  GENALG_ASSIGN_OR_RETURN(msg.query_id, r.GetU64());
+  GENALG_ASSIGN_OR_RETURN(msg.bql, r.GetString());
+  GENALG_ASSIGN_OR_RETURN(msg.page_rows, r.GetU32());
+  GENALG_ASSIGN_OR_RETURN(msg.deadline_ms, r.GetU32());
+  if (msg.page_rows == 0) {
+    return Status::Corruption("query asks for zero-row pages");
+  }
+  return msg;
+}
+
+std::vector<uint8_t> ResultPageMsg::Encode() const {
+  BytesWriter w;
+  w.PutU64(query_id);
+  w.PutU32(page_index);
+  w.PutU8(last ? 1 : 0);
+  w.PutVarint(columns.size());
+  for (const std::string& column : columns) w.PutString(column);
+  w.PutVarint(rows.size());
+  for (const udb::Row& row : rows) udb::SerializeRow(row, &w);
+  w.PutString(message);
+  return w.Release();
+}
+
+Result<ResultPageMsg> ResultPageMsg::Decode(
+    const std::vector<uint8_t>& body) {
+  BytesReader r(body);
+  ResultPageMsg msg;
+  GENALG_ASSIGN_OR_RETURN(msg.query_id, r.GetU64());
+  GENALG_ASSIGN_OR_RETURN(msg.page_index, r.GetU32());
+  GENALG_ASSIGN_OR_RETURN(uint8_t last, r.GetU8());
+  msg.last = last != 0;
+  GENALG_ASSIGN_OR_RETURN(uint64_t column_count, r.GetVarint());
+  if (column_count > body.size()) {
+    return Status::Corruption("column count exceeds the page body");
+  }
+  msg.columns.reserve(column_count);
+  for (uint64_t i = 0; i < column_count; ++i) {
+    GENALG_ASSIGN_OR_RETURN(std::string column, r.GetString());
+    msg.columns.push_back(std::move(column));
+  }
+  GENALG_ASSIGN_OR_RETURN(uint64_t row_count, r.GetVarint());
+  if (row_count > body.size()) {
+    return Status::Corruption("row count exceeds the page body");
+  }
+  msg.rows.reserve(row_count);
+  for (uint64_t i = 0; i < row_count; ++i) {
+    GENALG_ASSIGN_OR_RETURN(udb::Row row, udb::DeserializeRow(&r));
+    msg.rows.push_back(std::move(row));
+  }
+  GENALG_ASSIGN_OR_RETURN(msg.message, r.GetString());
+  return msg;
+}
+
+std::vector<uint8_t> ErrorMsg::Encode() const {
+  BytesWriter w;
+  w.PutU64(query_id);
+  w.PutU16(static_cast<uint16_t>(code));
+  w.PutString(message);
+  return w.Release();
+}
+
+Result<ErrorMsg> ErrorMsg::Decode(const std::vector<uint8_t>& body) {
+  BytesReader r(body);
+  ErrorMsg msg;
+  GENALG_ASSIGN_OR_RETURN(msg.query_id, r.GetU64());
+  GENALG_ASSIGN_OR_RETURN(uint16_t code, r.GetU16());
+  msg.code = static_cast<ErrorCode>(code);
+  GENALG_ASSIGN_OR_RETURN(msg.message, r.GetString());
+  return msg;
+}
+
+std::vector<uint8_t> CancelMsg::Encode() const {
+  BytesWriter w;
+  w.PutU64(query_id);
+  return w.Release();
+}
+
+Result<CancelMsg> CancelMsg::Decode(const std::vector<uint8_t>& body) {
+  BytesReader r(body);
+  CancelMsg msg;
+  GENALG_ASSIGN_OR_RETURN(msg.query_id, r.GetU64());
+  return msg;
+}
+
+std::vector<uint8_t> PingMsg::Encode() const {
+  BytesWriter w;
+  w.PutU64(nonce);
+  return w.Release();
+}
+
+Result<PingMsg> PingMsg::Decode(const std::vector<uint8_t>& body) {
+  BytesReader r(body);
+  PingMsg msg;
+  GENALG_ASSIGN_OR_RETURN(msg.nonce, r.GetU64());
+  return msg;
+}
+
+}  // namespace genalg::net

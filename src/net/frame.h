@@ -1,0 +1,167 @@
+#ifndef GENALG_NET_FRAME_H_
+#define GENALG_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "net/socket.h"
+#include "udb/database.h"
+#include "udb/datum.h"
+
+namespace genalg::net {
+
+/// The BQL wire protocol: length-prefixed, CRC32-framed binary messages
+/// over TCP. Every frame is
+///
+///   [u32 magic "GABF"][u32 payload_len][u32 crc32(payload)][payload]
+///
+/// little-endian, where payload = [u8 frame_type][type-specific body]
+/// encoded with the same BytesWriter/BytesReader vocabulary as the heap
+/// pages and the WAL. payload_len covers the payload only and is capped
+/// at kMaxPayloadBytes; anything over, any magic mismatch, and any CRC
+/// mismatch is `malformed` — the receiver must refuse it without
+/// crashing (fuzz-tested).
+///
+/// Session lifecycle:
+///   client:  Hello{versions}            -> server: HelloAck{version}
+///   client:  Query{id, bql, page_rows}  -> server: ResultPage* (last=1)
+///                                          or Error{id, code}
+///   client:  Cancel{id}                 -> (best effort; a queued query
+///                                           dies with error{cancelled})
+///   client:  Ping{nonce}                -> server: Pong{nonce}
+///   client:  Goodbye                    -> server closes the session
+///
+/// Result sets stream as pages of at most `page_rows` rows; the column
+/// header travels on page 0 only and `message` (DDL-style notices) on the
+/// last page. Rows use the storage row codec (SerializeRow), so a value
+/// arrives bit-identical to what an in-process Execute returns —
+/// including opaque genomic UDT payloads.
+
+// ------------------------------------------------------------ Framing.
+
+inline constexpr uint32_t kFrameMagic = 0x46424147u;   // "GABF" (LE).
+inline constexpr uint32_t kHelloMagic = 0x51424147u;   // "GABQ" (LE).
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr size_t kMaxPayloadBytes = 8u << 20;   // 8 MiB.
+
+/// Protocol revisions this build can speak. Version 1 is the initial
+/// protocol; the handshake picks min(client max, server max) within the
+/// advertised ranges.
+inline constexpr uint16_t kProtocolVersionMin = 1;
+inline constexpr uint16_t kProtocolVersionMax = 1;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kQuery = 3,
+  kResultPage = 4,
+  kError = 5,
+  kCancel = 6,
+  kPing = 7,
+  kPong = 8,
+  kGoodbye = 9,
+};
+
+/// One decoded frame: the type byte plus the raw body bytes after it.
+struct Frame {
+  FrameType type = FrameType::kGoodbye;
+  std::vector<uint8_t> body;
+};
+
+/// Encodes header + payload, ready for SendAll.
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& body);
+
+/// Blocking frame read: header, validation, payload, CRC check.
+/// Corruption for anything malformed (bad magic, over-length, CRC or
+/// type-byte mismatch, truncation mid-frame), NotFound for a clean close
+/// between frames.
+Status ReadFrame(TcpSocket* socket, Frame* out);
+
+/// Writes one frame.
+Status WriteFrame(TcpSocket* socket, FrameType type,
+                  const std::vector<uint8_t>& body);
+
+// ------------------------------------------------------------ Messages.
+
+enum class ErrorCode : uint16_t {
+  kMalformed = 1,     ///< Unparseable frame or message body.
+  kVersion = 2,       ///< No protocol version in common.
+  kOverloaded = 3,    ///< Admission queue full — try later.
+  kQueryFailed = 4,   ///< BQL parse/execution error (message has detail).
+  kTimeout = 5,       ///< Deadline elapsed before/while running.
+  kCancelled = 6,     ///< Client cancel honored.
+  kShuttingDown = 7,  ///< Server is draining; no new queries.
+  kSessionLimit = 8,  ///< Session table full.
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+struct HelloMsg {
+  uint32_t magic = kHelloMagic;
+  uint16_t min_version = kProtocolVersionMin;
+  uint16_t max_version = kProtocolVersionMax;
+  std::string client_name;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<HelloMsg> Decode(const std::vector<uint8_t>& body);
+};
+
+struct HelloAckMsg {
+  uint16_t version = kProtocolVersionMax;
+  std::string server_name;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<HelloAckMsg> Decode(const std::vector<uint8_t>& body);
+};
+
+struct QueryMsg {
+  uint64_t query_id = 0;
+  std::string bql;
+  uint32_t page_rows = 256;    ///< Max rows per result page (>=1).
+  uint32_t deadline_ms = 0;    ///< 0 = server default.
+
+  std::vector<uint8_t> Encode() const;
+  static Result<QueryMsg> Decode(const std::vector<uint8_t>& body);
+};
+
+struct ResultPageMsg {
+  uint64_t query_id = 0;
+  uint32_t page_index = 0;
+  bool last = false;
+  std::vector<std::string> columns;  ///< Page 0 only.
+  std::vector<udb::Row> rows;
+  std::string message;               ///< Last page only.
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ResultPageMsg> Decode(const std::vector<uint8_t>& body);
+};
+
+struct ErrorMsg {
+  uint64_t query_id = 0;  ///< 0 = session-level error.
+  ErrorCode code = ErrorCode::kMalformed;
+  std::string message;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ErrorMsg> Decode(const std::vector<uint8_t>& body);
+};
+
+struct CancelMsg {
+  uint64_t query_id = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<CancelMsg> Decode(const std::vector<uint8_t>& body);
+};
+
+struct PingMsg {
+  uint64_t nonce = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<PingMsg> Decode(const std::vector<uint8_t>& body);
+};
+
+}  // namespace genalg::net
+
+#endif  // GENALG_NET_FRAME_H_

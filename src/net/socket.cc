@@ -1,0 +1,175 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace genalg::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- TcpSocket.
+
+Result<TcpSocket> TcpSocket::ConnectTo(const std::string& host,
+                                       uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &found);
+  if (rc != 0 || found == nullptr) {
+    return Status::IoError("cannot resolve '" + host +
+                           "': " + gai_strerror(rc));
+  }
+  int fd = ::socket(found->ai_family, found->ai_socktype,
+                    found->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(found);
+    return Errno("socket");
+  }
+  if (::connect(fd, found->ai_addr, found->ai_addrlen) != 0) {
+    ::freeaddrinfo(found);
+    ::close(fd);
+    return Status::IoError("cannot connect to " + host + ":" + port_str +
+                           ": " + std::strerror(errno));
+  }
+  ::freeaddrinfo(found);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpSocket(fd);
+}
+
+Status TcpSocket::SendAll(const void* data, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+    // not kill the server process with SIGPIPE.
+    ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::RecvAll(void* out, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  auto* p = static_cast<uint8_t*>(out);
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("recv timed out");
+      }
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::Corruption("connection closed mid-frame (got " +
+                                std::to_string(got) + " of " +
+                                std::to_string(size) + " bytes)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::SetRecvTimeout(int millis) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+void TcpSocket::Interrupt() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ------------------------------------------------------------ TcpListener.
+
+Status TcpListener::Listen(uint16_t port, int backlog) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already listening");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot bind 127.0.0.1:" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<TcpSocket> TcpListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Status::NotFound("listener shut down");
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpSocket(fd);
+  }
+}
+
+void TcpListener::Interrupt() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace genalg::net

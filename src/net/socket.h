@@ -1,0 +1,104 @@
+#ifndef GENALG_NET_SOCKET_H_
+#define GENALG_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace genalg::net {
+
+/// A connected TCP stream socket (blocking I/O), move-only RAII over the
+/// file descriptor. The serving stack is deliberately built on blocking
+/// sockets + threads: one reader thread per session, query execution on
+/// the shared pool — no event loop to get wrong, and `shutdown()` from
+/// another thread cleanly unblocks a reader (see Interrupt()).
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { Close(); }
+
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to host:port (numeric IPv4 or a resolvable name).
+  static Result<TcpSocket> ConnectTo(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes the whole buffer (looping over partial writes / EINTR).
+  Status SendAll(const void* data, size_t size);
+  Status SendAll(const std::vector<uint8_t>& buf) {
+    return SendAll(buf.data(), buf.size());
+  }
+
+  /// Reads exactly `size` bytes. A clean peer close before any byte
+  /// yields NotFound("connection closed"); a close mid-buffer yields
+  /// Corruption (a truncated frame).
+  Status RecvAll(void* out, size_t size);
+
+  /// Sets SO_RCVTIMEO; a blocked RecvAll then fails with IoError
+  /// ("timed out") after ~`millis`. 0 restores blocking forever.
+  Status SetRecvTimeout(int millis);
+
+  /// shutdown(SHUT_RDWR): unblocks any thread sitting in RecvAll (it
+  /// sees a clean close). Safe to call from another thread; the fd stays
+  /// owned until Close()/destruction.
+  void Interrupt();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (the serving layer is a
+/// localhost service; putting it on a public interface is a deployment
+/// concern, not a library one).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral
+  /// port (read it back with port()).
+  Status Listen(uint16_t port, int backlog = 64);
+
+  /// Blocks for the next connection. NotFound after Interrupt()/Close()
+  /// (accept fails once the fd is shut down) — the acceptor loop's clean
+  /// exit signal.
+  Result<TcpSocket> Accept();
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Unblocks a pending Accept from another thread.
+  void Interrupt();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace genalg::net
+
+#endif  // GENALG_NET_SOCKET_H_

@@ -1,6 +1,7 @@
 #ifndef GENALG_UDB_DATABASE_H_
 #define GENALG_UDB_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/rw_gate.h"
 #include "udb/adapter.h"
 #include "udb/btree.h"
 #include "udb/datum.h"
@@ -172,8 +174,22 @@ class Database {
       std::unique_ptr<WalFile> wal_file, size_t pool_pages = 512);
 
   /// Heap records fetched by the most recent Execute (the benchmark
-  /// counter behind the index-vs-scan experiments).
-  uint64_t last_rows_scanned() const { return last_rows_scanned_; }
+  /// counter behind the index-vs-scan experiments). With concurrent
+  /// readers the value is a racy aggregate across them; the single-
+  /// threaded benchmarks that consume it are unaffected.
+  uint64_t last_rows_scanned() const {
+    return last_rows_scanned_.load(std::memory_order_relaxed);
+  }
+
+  /// The database-level reader–writer concurrency gate (metrics under
+  /// `udb.gate.*`). The database does NOT acquire it internally — that
+  /// would self-deadlock the write paths — it is the contract between
+  /// the serving layer (read side around every served query) and the
+  /// mutation paths (Warehouse::RunInTransaction takes the write side).
+  /// Read queries are safe to run concurrently under the read side: the
+  /// buffer pool is internally synchronized and the executor keeps all
+  /// per-query state local.
+  RwGate& gate() { return gate_; }
 
   /// Toggles the Sec. 6.5 cheapest-first predicate ordering (on by
   /// default). Exists for the optimizer ablation benchmark; semantics are
@@ -249,8 +265,9 @@ class Database {
   uint64_t next_txn_ = 1;
   uint64_t current_txn_ = 0;
   std::vector<uint8_t> txn_catalog_snapshot_;
-  uint64_t last_rows_scanned_ = 0;
+  std::atomic<uint64_t> last_rows_scanned_{0};
   bool predicate_reordering_ = true;
+  RwGate gate_{"udb.gate"};
 };
 
 }  // namespace genalg::udb

@@ -184,6 +184,7 @@ Result<size_t> BufferPool::FindVictim() {
 }
 
 Result<uint8_t*> BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> guard(mutex_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
@@ -207,6 +208,7 @@ Result<uint8_t*> BufferPool::FetchPage(PageId id) {
 }
 
 Result<std::pair<PageId, uint8_t*>> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> guard(mutex_);
   GENALG_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
   GENALG_ASSIGN_OR_RETURN(size_t victim, FindVictim());
   Frame& frame = frames_[victim];
@@ -221,6 +223,7 @@ Result<std::pair<PageId, uint8_t*>> BufferPool::NewPage() {
 }
 
 Status BufferPool::UnpinPage(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> guard(mutex_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) {
     return Status::NotFound("page " + std::to_string(id) +
@@ -238,6 +241,7 @@ Status BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
   for (Frame& frame : frames_) {
     if (frame.id == kInvalidPageId || !frame.dirty) continue;
     GENALG_RETURN_IF_ERROR(disk_->WritePage(frame.id, frame.data.get()));
@@ -247,6 +251,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::BeginTracking() {
+  std::lock_guard<std::mutex> guard(mutex_);
   if (tracking_) {
     return Status::FailedPrecondition("already tracking a transaction");
   }
@@ -256,15 +261,18 @@ Status BufferPool::BeginTracking() {
 }
 
 std::vector<PageId> BufferPool::TrackedDirtyPages() const {
+  std::lock_guard<std::mutex> guard(mutex_);
   return std::vector<PageId>(tracked_.begin(), tracked_.end());
 }
 
 void BufferPool::EndTracking() {
+  std::lock_guard<std::mutex> guard(mutex_);
   tracking_ = false;
   tracked_.clear();
 }
 
 Status BufferPool::DiscardTracked() {
+  std::lock_guard<std::mutex> guard(mutex_);
   for (PageId id : tracked_) {
     auto it = page_table_.find(id);
     if (it == page_table_.end()) continue;  // Already discarded.

@@ -6,6 +6,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -98,6 +99,13 @@ class FileDiskManager : public DiskManager {
 /// A fixed-capacity LRU buffer pool. Callers fetch (pin) pages, mutate
 /// them in place, and unpin with a dirty flag; clean unpinned frames are
 /// evicted silently, dirty ones written back first.
+///
+/// Thread safety: every operation (and through it, all DiskManager
+/// traffic) is serialized on one internal mutex, so concurrent read
+/// queries may fetch/unpin pages from the same pool. The frame bytes a
+/// fetch returns are touched OUTSIDE that mutex; the database-level
+/// reader–writer gate is what keeps page mutators exclusive of readers
+/// (readers only read frame bytes, writers hold the gate's write side).
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t capacity);
@@ -144,11 +152,20 @@ class BufferPool {
   /// FailedPrecondition if one of them is still pinned.
   Status DiscardTracked();
 
-  bool tracking() const { return tracking_; }
+  bool tracking() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tracking_;
+  }
 
   size_t capacity() const { return capacity_; }
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
+  uint64_t hit_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  uint64_t miss_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
 
  private:
   struct Frame {
@@ -164,6 +181,7 @@ class BufferPool {
 
   DiskManager* disk_;
   size_t capacity_;
+  mutable std::mutex mutex_;  // Guards everything below + disk_ calls.
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   std::list<size_t> lru_;  // Front = most recently used.

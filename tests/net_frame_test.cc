@@ -1,0 +1,287 @@
+// Wire-protocol codec tests: frame framing (magic, length, CRC) and every
+// message body's encode/decode roundtrip, plus socket-level transport on a
+// loopback pair. The adversarial byte-stream cases against a *live* server
+// live in server_fuzz_test.cc; this file pins the codec itself.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "base/crc32.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "udb/datum.h"
+
+namespace genalg::net {
+namespace {
+
+// A connected loopback socket pair (client end, server end).
+struct LoopbackPair {
+  TcpSocket client;
+  TcpSocket server;
+
+  static LoopbackPair Make() {
+    TcpListener listener;
+    EXPECT_TRUE(listener.Listen(0).ok());
+    LoopbackPair pair;
+    std::thread connector([&] {
+      auto connected = TcpSocket::ConnectTo("127.0.0.1", listener.port());
+      EXPECT_TRUE(connected.ok());
+      pair.client = std::move(*connected);
+    });
+    auto accepted = listener.Accept();
+    EXPECT_TRUE(accepted.ok());
+    pair.server = std::move(*accepted);
+    connector.join();
+    return pair;
+  }
+};
+
+// ----------------------------------------------------------- Frame layer.
+
+TEST(FrameTest, RoundTripsOverLoopback) {
+  auto pair = LoopbackPair::Make();
+  std::vector<uint8_t> body = {0xde, 0xad, 0xbe, 0xef};
+  ASSERT_TRUE(WriteFrame(&pair.client, FrameType::kPing, body).ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(&pair.server, &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_EQ(frame.body, body);
+}
+
+TEST(FrameTest, EmptyBodyRoundTrips) {
+  auto pair = LoopbackPair::Make();
+  ASSERT_TRUE(WriteFrame(&pair.client, FrameType::kGoodbye, {}).ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(&pair.server, &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kGoodbye);
+  EXPECT_TRUE(frame.body.empty());
+}
+
+TEST(FrameTest, BadMagicIsMalformed) {
+  auto pair = LoopbackPair::Make();
+  std::vector<uint8_t> encoded = EncodeFrame(FrameType::kPing, {1, 2, 3});
+  encoded[0] ^= 0xff;
+  ASSERT_TRUE(pair.client.SendAll(encoded).ok());
+  Frame frame;
+  Status read = ReadFrame(&pair.server, &frame);
+  EXPECT_TRUE(read.IsCorruption()) << read.ToString();
+}
+
+TEST(FrameTest, CorruptPayloadFailsCrc) {
+  auto pair = LoopbackPair::Make();
+  std::vector<uint8_t> encoded = EncodeFrame(FrameType::kPing, {1, 2, 3});
+  encoded.back() ^= 0x01;  // Flip a payload bit; header stays intact.
+  ASSERT_TRUE(pair.client.SendAll(encoded).ok());
+  Frame frame;
+  Status read = ReadFrame(&pair.server, &frame);
+  EXPECT_TRUE(read.IsCorruption()) << read.ToString();
+}
+
+TEST(FrameTest, OverLengthHeaderIsMalformed) {
+  auto pair = LoopbackPair::Make();
+  std::vector<uint8_t> encoded = EncodeFrame(FrameType::kPing, {1});
+  uint32_t huge = static_cast<uint32_t>(kMaxPayloadBytes) + 1;
+  std::memcpy(encoded.data() + 4, &huge, sizeof(huge));
+  ASSERT_TRUE(pair.client.SendAll(encoded).ok());
+  Frame frame;
+  Status read = ReadFrame(&pair.server, &frame);
+  EXPECT_TRUE(read.IsCorruption()) << read.ToString();
+}
+
+TEST(FrameTest, UnknownTypeByteIsMalformed) {
+  auto pair = LoopbackPair::Make();
+  // Hand-assemble a frame whose CRC is valid but whose type byte (200)
+  // is outside the protocol's range.
+  std::vector<uint8_t> payload = {200};
+  std::vector<uint8_t> raw(kFrameHeaderBytes + payload.size());
+  uint32_t magic = kFrameMagic;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32(payload.data(), payload.size());
+  std::memcpy(raw.data(), &magic, 4);
+  std::memcpy(raw.data() + 4, &len, 4);
+  std::memcpy(raw.data() + 8, &crc, 4);
+  std::memcpy(raw.data() + 12, payload.data(), payload.size());
+  ASSERT_TRUE(pair.client.SendAll(raw).ok());
+  Frame frame;
+  Status read = ReadFrame(&pair.server, &frame);
+  EXPECT_TRUE(read.IsCorruption()) << read.ToString();
+}
+
+TEST(FrameTest, TruncatedFrameIsCorruptionOnClose) {
+  auto pair = LoopbackPair::Make();
+  std::vector<uint8_t> encoded = EncodeFrame(FrameType::kPing, {1, 2, 3});
+  // Ship only half the frame, then close: the reader is mid-buffer.
+  ASSERT_TRUE(pair.client.SendAll(encoded.data(), encoded.size() / 2).ok());
+  pair.client.Close();
+  Frame frame;
+  Status read = ReadFrame(&pair.server, &frame);
+  EXPECT_FALSE(read.ok());
+  EXPECT_TRUE(read.IsCorruption()) << read.ToString();
+}
+
+TEST(FrameTest, CleanCloseBetweenFramesIsNotFound) {
+  auto pair = LoopbackPair::Make();
+  pair.client.Close();
+  Frame frame;
+  Status read = ReadFrame(&pair.server, &frame);
+  EXPECT_TRUE(read.IsNotFound()) << read.ToString();
+}
+
+TEST(FrameTest, BackToBackFramesStayInSync) {
+  auto pair = LoopbackPair::Make();
+  for (uint8_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(WriteFrame(&pair.client, FrameType::kPing, {i}).ok());
+  }
+  for (uint8_t i = 0; i < 10; ++i) {
+    Frame frame;
+    ASSERT_TRUE(ReadFrame(&pair.server, &frame).ok());
+    ASSERT_EQ(frame.body.size(), 1u);
+    EXPECT_EQ(frame.body[0], i);
+  }
+}
+
+// --------------------------------------------------------- Message codecs.
+
+TEST(MessageTest, HelloRoundTrip) {
+  HelloMsg msg;
+  msg.client_name = "test-client";
+  auto decoded = HelloMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->magic, kHelloMagic);
+  EXPECT_EQ(decoded->min_version, kProtocolVersionMin);
+  EXPECT_EQ(decoded->max_version, kProtocolVersionMax);
+  EXPECT_EQ(decoded->client_name, "test-client");
+}
+
+TEST(MessageTest, HelloAckRoundTrip) {
+  HelloAckMsg msg;
+  msg.version = 1;
+  msg.server_name = "unit-server";
+  auto decoded = HelloAckMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->version, 1);
+  EXPECT_EQ(decoded->server_name, "unit-server");
+}
+
+TEST(MessageTest, QueryRoundTrip) {
+  QueryMsg msg;
+  msg.query_id = 42;
+  msg.bql = "count sequences with gc above 0.5";
+  msg.page_rows = 128;
+  msg.deadline_ms = 2500;
+  auto decoded = QueryMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query_id, 42u);
+  EXPECT_EQ(decoded->bql, msg.bql);
+  EXPECT_EQ(decoded->page_rows, 128u);
+  EXPECT_EQ(decoded->deadline_ms, 2500u);
+}
+
+TEST(MessageTest, ResultPageRoundTripPreservesRowsBitForBit) {
+  ResultPageMsg msg;
+  msg.query_id = 7;
+  msg.page_index = 0;
+  msg.last = true;
+  msg.columns = {"accession", "gc", "n", "flag", "blob"};
+  msg.message = "2 rows";
+  udb::Row row1 = {udb::Datum::String("ACC1"), udb::Datum::Real(0.5),
+                   udb::Datum::Int(-3), udb::Datum::Bool(true),
+                   udb::Datum::Udt("nucseq", {0x00, 0xff, 0x10})};
+  udb::Row row2 = {udb::Datum::Null(), udb::Datum::Real(1.25),
+                   udb::Datum::Int(1 << 30), udb::Datum::Bool(false),
+                   udb::Datum::String("")};
+  msg.rows = {row1, row2};
+  auto decoded = ResultPageMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query_id, 7u);
+  EXPECT_EQ(decoded->page_index, 0u);
+  EXPECT_TRUE(decoded->last);
+  EXPECT_EQ(decoded->columns, msg.columns);
+  EXPECT_EQ(decoded->message, "2 rows");
+  ASSERT_EQ(decoded->rows.size(), 2u);
+  // Bit-identical: re-serializing each datum yields the same bytes.
+  for (size_t r = 0; r < 2; ++r) {
+    ASSERT_EQ(decoded->rows[r].size(), msg.rows[r].size());
+    for (size_t c = 0; c < msg.rows[r].size(); ++c) {
+      EXPECT_EQ(decoded->rows[r][c].ToString(), msg.rows[r][c].ToString())
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(MessageTest, NonFinalPageOmitsColumnsAndMessage) {
+  ResultPageMsg msg;
+  msg.query_id = 9;
+  msg.page_index = 3;
+  msg.last = false;
+  msg.rows = {{udb::Datum::Int(1)}};
+  auto decoded = ResultPageMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->last);
+  EXPECT_TRUE(decoded->columns.empty());
+  EXPECT_TRUE(decoded->message.empty());
+  ASSERT_EQ(decoded->rows.size(), 1u);
+}
+
+TEST(MessageTest, ErrorRoundTrip) {
+  ErrorMsg msg;
+  msg.query_id = 11;
+  msg.code = ErrorCode::kOverloaded;
+  msg.message = "queue full";
+  auto decoded = ErrorMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query_id, 11u);
+  EXPECT_EQ(decoded->code, ErrorCode::kOverloaded);
+  EXPECT_EQ(decoded->message, "queue full");
+}
+
+TEST(MessageTest, CancelAndPingRoundTrip) {
+  CancelMsg cancel;
+  cancel.query_id = 77;
+  auto cancel2 = CancelMsg::Decode(cancel.Encode());
+  ASSERT_TRUE(cancel2.ok());
+  EXPECT_EQ(cancel2->query_id, 77u);
+
+  PingMsg ping;
+  ping.nonce = 0xabcdef0123456789ull;
+  auto ping2 = PingMsg::Decode(ping.Encode());
+  ASSERT_TRUE(ping2.ok());
+  EXPECT_EQ(ping2->nonce, ping.nonce);
+}
+
+TEST(MessageTest, QueryWithZeroPageRowsIsRejected) {
+  QueryMsg msg;
+  msg.query_id = 1;
+  msg.bql = "count sequences";
+  msg.page_rows = 0;
+  auto decoded = QueryMsg::Decode(msg.Encode());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(MessageTest, TruncatedBodyFailsDecode) {
+  QueryMsg msg;
+  msg.query_id = 5;
+  msg.bql = "count sequences";
+  std::vector<uint8_t> body = msg.Encode();
+  body.resize(body.size() / 2);
+  EXPECT_FALSE(QueryMsg::Decode(body).ok());
+
+  ResultPageMsg page;
+  page.query_id = 5;
+  page.rows = {{udb::Datum::Int(1), udb::Datum::String("x")}};
+  std::vector<uint8_t> page_body = page.Encode();
+  page_body.resize(page_body.size() - 3);
+  EXPECT_FALSE(ResultPageMsg::Decode(page_body).ok());
+}
+
+TEST(ErrorCodeTest, NamesAreStable) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kMalformed), "malformed");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOverloaded), "overloaded");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kShuttingDown), "shutting_down");
+}
+
+}  // namespace
+}  // namespace genalg::net

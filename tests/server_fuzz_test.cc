@@ -1,0 +1,336 @@
+// Protocol-robustness fuzzing against a LIVE server: truncated, spliced,
+// over-length, and garbage frames must produce error{malformed} or a
+// session close — never a crash, a leaked session slot, or a stall of
+// other sessions. Deterministic (seeded LCG), so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algebra/signature.h"
+#include "etl/pipeline.h"
+#include "etl/source.h"
+#include "etl/warehouse.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "server/server.h"
+#include "udb/adapter.h"
+#include "udb/database.h"
+
+namespace genalg {
+namespace {
+
+/// xorshift-free minimal LCG: deterministic garbage, no libc rand state.
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 16;
+  }
+  uint8_t NextByte() { return static_cast<uint8_t>(Next()); }
+  size_t Below(size_t n) { return static_cast<size_t>(Next() % n); }
+
+ private:
+  uint64_t state_;
+};
+
+class ServerFuzzTest : public ::testing::Test {
+ protected:
+  ServerFuzzTest() : source_("FZZ", etl::SourceRepresentation::kFlatFile,
+                             etl::SourceCapability::kLogged, 11) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(algebra::RegisterStandardAlgebra(&registry_).ok());
+    adapter_ = std::make_unique<udb::Adapter>(&registry_);
+    ASSERT_TRUE(udb::RegisterStandardUdts(adapter_.get()).ok());
+    db_ = std::make_unique<udb::Database>(adapter_.get());
+    warehouse_ = std::make_unique<etl::Warehouse>(db_.get());
+    ASSERT_TRUE(warehouse_->InitSchema().ok());
+    ASSERT_TRUE(source_.Populate(10, 200).ok());
+    pipeline_ = std::make_unique<etl::EtlPipeline>(warehouse_.get());
+    ASSERT_TRUE(pipeline_->AddSource(&source_).ok());
+    ASSERT_TRUE(pipeline_->InitialLoad().ok());
+    server_ = std::make_unique<server::GenAlgServer>(db_.get());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Shutdown(); }
+
+  net::TcpSocket RawConnect() {
+    auto socket = net::TcpSocket::ConnectTo("127.0.0.1", server_->port());
+    EXPECT_TRUE(socket.ok());
+    return std::move(*socket);
+  }
+
+  /// Completes a valid handshake on a raw socket.
+  void Handshake(net::TcpSocket* socket) {
+    net::HelloMsg hello;
+    hello.client_name = "fuzzer";
+    ASSERT_TRUE(
+        net::WriteFrame(socket, net::FrameType::kHello, hello.Encode()).ok());
+    net::Frame frame;
+    ASSERT_TRUE(net::ReadFrame(socket, &frame).ok());
+    ASSERT_EQ(frame.type, net::FrameType::kHelloAck);
+  }
+
+  /// Reads server frames until close; returns true if an error{malformed}
+  /// was seen. Either outcome (explicit error or straight close) is a
+  /// valid rejection — a crash or a hang is not.
+  bool DrainExpectingRejection(net::TcpSocket* socket) {
+    (void)socket->SetRecvTimeout(5000);
+    bool saw_malformed = false;
+    for (;;) {
+      net::Frame frame;
+      Status read = net::ReadFrame(socket, &frame);
+      if (!read.ok()) {
+        EXPECT_FALSE(read.IsIoError()) << "server stalled: " << read.ToString();
+        return saw_malformed;
+      }
+      if (frame.type == net::FrameType::kError) {
+        auto error = net::ErrorMsg::Decode(frame.body);
+        if (error.ok() && error->code == net::ErrorCode::kMalformed) {
+          saw_malformed = true;
+        }
+      }
+    }
+  }
+
+  /// The liveness probe: a fresh, well-behaved client must still complete
+  /// a query after whatever abuse the test inflicted.
+  void ExpectServerHealthy() {
+    auto client = net::GenAlgClient::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto result = (*client)->QueryAll("count sequences");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->rows.size(), 1u);
+  }
+
+  /// Session slots must return to zero once abusive connections close.
+  void ExpectNoLeakedSessions() {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (server_->active_sessions() == 0) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    FAIL() << "leaked session slots: " << server_->active_sessions();
+  }
+
+  algebra::SignatureRegistry registry_;
+  std::unique_ptr<udb::Adapter> adapter_;
+  std::unique_ptr<udb::Database> db_;
+  std::unique_ptr<etl::Warehouse> warehouse_;
+  etl::SyntheticSource source_;
+  std::unique_ptr<etl::EtlPipeline> pipeline_;
+  std::unique_ptr<server::GenAlgServer> server_;
+};
+
+TEST_F(ServerFuzzTest, GarbageBytesAreRejected) {
+  Lcg rng(0xfeedface);
+  net::TcpSocket socket = RawConnect();
+  std::vector<uint8_t> garbage(64);
+  for (auto& byte : garbage) byte = rng.NextByte();
+  ASSERT_TRUE(socket.SendAll(garbage).ok());
+  socket.Close();
+  ExpectServerHealthy();
+  ExpectNoLeakedSessions();
+}
+
+TEST_F(ServerFuzzTest, TruncatedFrameThenCloseDoesNotStallOthers) {
+  net::TcpSocket healthy_raw = RawConnect();
+  Handshake(&healthy_raw);
+
+  net::TcpSocket socket = RawConnect();
+  Handshake(&socket);
+  net::QueryMsg query;
+  query.query_id = 1;
+  query.bql = "count sequences";
+  std::vector<uint8_t> frame =
+      net::EncodeFrame(net::FrameType::kQuery, query.Encode());
+  ASSERT_TRUE(socket.SendAll(frame.data(), frame.size() / 2).ok());
+  socket.Close();  // The reader sees a close mid-frame.
+
+  // The other session is unaffected: ping still round-trips.
+  net::PingMsg ping;
+  ping.nonce = 99;
+  ASSERT_TRUE(
+      net::WriteFrame(&healthy_raw, net::FrameType::kPing, ping.Encode())
+          .ok());
+  (void)healthy_raw.SetRecvTimeout(5000);
+  net::Frame pong;
+  ASSERT_TRUE(net::ReadFrame(&healthy_raw, &pong).ok());
+  EXPECT_EQ(pong.type, net::FrameType::kPong);
+  healthy_raw.Close();
+
+  ExpectServerHealthy();
+  ExpectNoLeakedSessions();
+}
+
+TEST_F(ServerFuzzTest, OverLengthFrameIsMalformed) {
+  net::TcpSocket socket = RawConnect();
+  Handshake(&socket);
+  // Header advertising a payload far past the cap.
+  std::vector<uint8_t> header(net::kFrameHeaderBytes);
+  uint32_t magic = net::kFrameMagic;
+  uint32_t huge = static_cast<uint32_t>(net::kMaxPayloadBytes) * 4;
+  uint32_t crc = 0;
+  std::memcpy(header.data(), &magic, 4);
+  std::memcpy(header.data() + 4, &huge, 4);
+  std::memcpy(header.data() + 8, &crc, 4);
+  ASSERT_TRUE(socket.SendAll(header).ok());
+  EXPECT_TRUE(DrainExpectingRejection(&socket));
+  socket.Close();
+  ExpectServerHealthy();
+  ExpectNoLeakedSessions();
+}
+
+TEST_F(ServerFuzzTest, CorruptCrcIsMalformed) {
+  net::TcpSocket socket = RawConnect();
+  Handshake(&socket);
+  net::PingMsg ping;
+  ping.nonce = 5;
+  std::vector<uint8_t> frame =
+      net::EncodeFrame(net::FrameType::kPing, ping.Encode());
+  frame.back() ^= 0x40;  // Payload bit flip; CRC check must trip.
+  ASSERT_TRUE(socket.SendAll(frame).ok());
+  EXPECT_TRUE(DrainExpectingRejection(&socket));
+  socket.Close();
+  ExpectServerHealthy();
+  ExpectNoLeakedSessions();
+}
+
+TEST_F(ServerFuzzTest, SplicedValidThenGarbageHandlesTheValidPrefix) {
+  net::TcpSocket socket = RawConnect();
+  Handshake(&socket);
+  Lcg rng(0xdecafbad);
+  // One valid ping spliced directly into garbage.
+  net::PingMsg ping;
+  ping.nonce = 7;
+  std::vector<uint8_t> bytes =
+      net::EncodeFrame(net::FrameType::kPing, ping.Encode());
+  for (int i = 0; i < 40; ++i) bytes.push_back(rng.NextByte());
+  ASSERT_TRUE(socket.SendAll(bytes).ok());
+  // The valid prefix earns a pong; the garbage tail earns a rejection.
+  (void)socket.SetRecvTimeout(5000);
+  net::Frame frame;
+  ASSERT_TRUE(net::ReadFrame(&socket, &frame).ok());
+  EXPECT_EQ(frame.type, net::FrameType::kPong);
+  (void)DrainExpectingRejection(&socket);
+  socket.Close();
+  ExpectServerHealthy();
+  ExpectNoLeakedSessions();
+}
+
+TEST_F(ServerFuzzTest, ValidFrameWithGarbageQueryBodyKeepsSessionUsable) {
+  net::TcpSocket socket = RawConnect();
+  Handshake(&socket);
+  Lcg rng(0x5eed);
+  // A correctly framed kQuery whose body is noise: the frame layer is in
+  // sync, so the server reports malformed and the session survives.
+  std::vector<uint8_t> body(17);
+  for (auto& byte : body) byte = rng.NextByte();
+  ASSERT_TRUE(
+      net::WriteFrame(&socket, net::FrameType::kQuery, body).ok());
+  (void)socket.SetRecvTimeout(5000);
+  net::Frame frame;
+  ASSERT_TRUE(net::ReadFrame(&socket, &frame).ok());
+  ASSERT_EQ(frame.type, net::FrameType::kError);
+  auto error = net::ErrorMsg::Decode(frame.body);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->code, net::ErrorCode::kMalformed);
+  // Same session, now a valid ping.
+  net::PingMsg ping;
+  ping.nonce = 3;
+  ASSERT_TRUE(
+      net::WriteFrame(&socket, net::FrameType::kPing, ping.Encode()).ok());
+  ASSERT_TRUE(net::ReadFrame(&socket, &frame).ok());
+  EXPECT_EQ(frame.type, net::FrameType::kPong);
+  socket.Close();
+  ExpectNoLeakedSessions();
+}
+
+TEST_F(ServerFuzzTest, ClientSendingServerRoleFramesIsRejected) {
+  net::TcpSocket socket = RawConnect();
+  Handshake(&socket);
+  net::ResultPageMsg bogus;
+  bogus.query_id = 1;
+  bogus.last = true;
+  ASSERT_TRUE(
+      net::WriteFrame(&socket, net::FrameType::kResultPage, bogus.Encode())
+          .ok());
+  EXPECT_TRUE(DrainExpectingRejection(&socket));
+  socket.Close();
+  ExpectServerHealthy();
+  ExpectNoLeakedSessions();
+}
+
+TEST_F(ServerFuzzTest, GarbageDuringHandshakeIsRejected) {
+  Lcg rng(0xabad1dea);
+  for (int round = 0; round < 8; ++round) {
+    net::TcpSocket socket = RawConnect();
+    size_t length = 1 + rng.Below(128);
+    std::vector<uint8_t> noise(length);
+    for (auto& byte : noise) byte = rng.NextByte();
+    ASSERT_TRUE(socket.SendAll(noise).ok());
+    socket.Close();
+  }
+  ExpectServerHealthy();
+  ExpectNoLeakedSessions();
+}
+
+TEST_F(ServerFuzzTest, RandomFrameStormNeverKillsTheServer) {
+  Lcg rng(0xc0ffee);
+  for (int round = 0; round < 50; ++round) {
+    net::TcpSocket socket = RawConnect();
+    // Mix of strategies: raw noise, noise with a valid magic prefix,
+    // valid frames with random type bytes, truncations.
+    switch (rng.Below(4)) {
+      case 0: {  // Pure noise.
+        std::vector<uint8_t> noise(1 + rng.Below(256));
+        for (auto& byte : noise) byte = rng.NextByte();
+        (void)socket.SendAll(noise);
+        break;
+      }
+      case 1: {  // Valid magic, random rest of header.
+        std::vector<uint8_t> header(net::kFrameHeaderBytes);
+        uint32_t magic = net::kFrameMagic;
+        std::memcpy(header.data(), &magic, 4);
+        for (size_t i = 4; i < header.size(); ++i) {
+          header[i] = rng.NextByte();
+        }
+        (void)socket.SendAll(header);
+        break;
+      }
+      case 2: {  // Well-formed frame, random body, random known type.
+        std::vector<uint8_t> body(rng.Below(64));
+        for (auto& byte : body) byte = rng.NextByte();
+        auto type = static_cast<net::FrameType>(1 + rng.Below(9));
+        (void)net::WriteFrame(&socket, type, body);
+        break;
+      }
+      case 3: {  // Handshake, then a truncated frame.
+        net::HelloMsg hello;
+        hello.client_name = "storm";
+        (void)net::WriteFrame(&socket, net::FrameType::kHello,
+                              hello.Encode());
+        net::Frame ack;
+        (void)socket.SetRecvTimeout(2000);
+        (void)net::ReadFrame(&socket, &ack);
+        std::vector<uint8_t> frame = net::EncodeFrame(
+            net::FrameType::kPing, {1, 2, 3, 4});
+        (void)socket.SendAll(frame.data(), 1 + rng.Below(frame.size() - 1));
+        break;
+      }
+    }
+    socket.Close();
+    if (round % 10 == 9) ExpectServerHealthy();
+  }
+  ExpectServerHealthy();
+  ExpectNoLeakedSessions();
+}
+
+}  // namespace
+}  // namespace genalg

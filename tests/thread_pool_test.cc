@@ -158,5 +158,121 @@ TEST(ThreadPoolTest, GlobalPoolIsSharedAndUsable) {
   EXPECT_EQ(count.load(), 32u);
 }
 
+// ------------------------------------------------- Bounded-queue mode.
+
+// A task that parks until released — lets a test saturate the queue
+// deterministically.
+class Latch {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return released_; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST(ThreadPoolTest, BoundedSizeOnePoolSpawnsAWorker) {
+  // Unlike the unbounded size-1 pool (inline execution), a bounded pool
+  // must execute asynchronously or the bound would be meaningless.
+  Latch latch;
+  ThreadPool pool(1, 4, ThreadPool::OverflowPolicy::kBlock);
+  EXPECT_EQ(pool.max_queue(), 4u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] {
+    latch.Wait();
+    ran.store(true);
+  });
+  // If this were inline, Submit would have blocked forever on the latch.
+  EXPECT_FALSE(ran.load());
+  latch.Release();
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenTheQueueIsFull) {
+  auto before = obs::Registry::Global().Snapshot();
+  Latch latch;
+  ThreadPool pool(1, 2, ThreadPool::OverflowPolicy::kBlock);
+  // Occupy the worker, then fill both queue slots.
+  pool.Submit([&] { latch.Wait(); });
+  while (pool.queued() > 0) std::this_thread::yield();  // Worker picked it up.
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  // Third pending task exceeds the bound: rejected, not queued.
+  std::atomic<bool> rejected_ran{false};
+  EXPECT_FALSE(pool.TrySubmit([&] { rejected_ran.store(true); }));
+  EXPECT_EQ(pool.queued(), 2u);
+  latch.Release();
+  auto delta = obs::Registry::Global().Snapshot().Since(before);
+  EXPECT_GE(delta.counter("base.pool.tasks_rejected"), 1u);
+  EXPECT_FALSE(rejected_ran.load());
+}
+
+TEST(ThreadPoolTest, BlockPolicySubmitWaitsForASlotAndAlwaysRuns) {
+  Latch latch;
+  ThreadPool pool(1, 1, ThreadPool::OverflowPolicy::kBlock);
+  std::atomic<int> ran{0};
+  pool.Submit([&] { latch.Wait(); ++ran; });   // Worker.
+  pool.Submit([&] { ++ran; });                  // Queue slot.
+  // This submission finds the queue full and must block until the latch
+  // releases the worker — run it from a helper thread and release.
+  std::atomic<bool> third_submitted{false};
+  std::thread submitter([&] {
+    pool.Submit([&] { ++ran; });
+    third_submitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_submitted.load()) << "Submit should still be blocked";
+  latch.Release();
+  submitter.join();
+  EXPECT_TRUE(third_submitted.load());
+  // Wait for all three tasks to execute (dtor also drains, but assert
+  // explicitly).
+  for (int i = 0; i < 1000 && ran.load() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolTest, InlinePolicyRunsOverflowOnTheCaller) {
+  Latch latch;
+  ThreadPool pool(1, 1, ThreadPool::OverflowPolicy::kInline);
+  pool.Submit([&] { latch.Wait(); });  // Worker.
+  while (pool.queued() > 0) std::this_thread::yield();
+  pool.Submit([] {});                  // Queue slot.
+  // Overflow: must run right here on this thread instead of blocking.
+  std::thread::id inline_thread;
+  pool.Submit([&] { inline_thread = std::this_thread::get_id(); });
+  EXPECT_EQ(inline_thread, std::this_thread::get_id());
+  latch.Release();
+}
+
+TEST(ThreadPoolTest, UnboundedTrySubmitAlwaysAccepts) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([] {}));
+  }
+}
+
+TEST(ThreadPoolTest, BoundedPoolParallelForIsExemptFromTheBound) {
+  // ParallelFor's internal chunks are not external admissions; a tiny
+  // bound must not deadlock or reject them.
+  ThreadPool pool(2, 1, ThreadPool::OverflowPolicy::kBlock);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(0, 64, 4, [&](size_t lo, size_t hi) {
+    count.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 64u);
+}
+
 }  // namespace
 }  // namespace genalg
